@@ -1,0 +1,95 @@
+// Shared table/waveform printing for the per-figure benchmark binaries.
+//
+// Every bench regenerates one table or figure of the paper and prints it
+// in a stable, diffable text format: a header naming the experiment, the
+// series the figure plots (sampled), and the summary metrics the paper
+// quotes (error terms, delays, pole lists).
+#pragma once
+
+#include <complex>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "la/matrix.h"
+#include "waveform/waveform.h"
+
+namespace awesim::bench {
+
+inline void print_header(const std::string& id, const std::string& what) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s -- %s\n", id.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Print a complex pole in the paper's "re  im j" style.
+inline std::string pole_str(la::Complex p) {
+  char buf[64];
+  if (p.imag() == 0.0) {
+    std::snprintf(buf, sizeof buf, "%12.4e", p.real());
+  } else {
+    std::snprintf(buf, sizeof buf, "%12.4e %+.4ej", p.real(), p.imag());
+  }
+  return buf;
+}
+
+/// Print aligned pole columns (Table I / Table II style).  Columns may
+/// have different lengths; missing entries print blank.
+inline void print_pole_table(const std::vector<std::string>& headers,
+                             const std::vector<la::ComplexVector>& columns) {
+  for (const auto& h : headers) std::printf("%-28s", h.c_str());
+  std::printf("\n");
+  std::size_t rows = 0;
+  for (const auto& c : columns) rows = std::max(rows, c.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (const auto& c : columns) {
+      std::printf("%-28s",
+                  r < c.size() ? pole_str(c[r]).c_str() : "");
+    }
+    std::printf("\n");
+  }
+}
+
+/// Print a figure as columns: t, reference (simulator), then one column
+/// per approximation.  `rows` evenly spaced samples.
+inline void print_waveform_comparison(
+    const waveform::Waveform& reference, const std::string& ref_name,
+    const std::vector<std::pair<std::string, const core::Approximation*>>&
+        approximations,
+    double t0, double t1, int rows) {
+  std::printf("%14s  %12s", "t", ref_name.c_str());
+  for (const auto& [name, unused] : approximations) {
+    std::printf("  %12s", name.c_str());
+  }
+  std::printf("\n");
+  for (int i = 0; i < rows; ++i) {
+    const double t = t0 + (t1 - t0) * i / (rows - 1);
+    std::printf("%14.5e  %12.6f", t, reference.value_at(t));
+    for (const auto& [name, approx] : approximations) {
+      std::printf("  %12.6f", approx->value(t));
+    }
+    std::printf("\n");
+  }
+}
+
+/// Relative L2 error of an approximation against the reference over
+/// [t0, t1] (the measured analogue of the paper's error term).
+inline double measured_error(const core::Approximation& approx,
+                             const waveform::Waveform& reference, double t0,
+                             double t1) {
+  const auto wave = approx.sample(t0, t1, 2001);
+  return wave.relative_error_vs(reference);
+}
+
+inline void print_metric(const std::string& name, double value,
+                         const std::string& unit = "") {
+  std::printf("  %-46s %.6g %s\n", (name + ":").c_str(), value,
+              unit.c_str());
+}
+
+inline void print_note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+}  // namespace awesim::bench

@@ -1,0 +1,62 @@
+// Figs. 17 and 18: first- and second-order approximations for the stiff
+// MOS interconnect tree (Fig. 16) driven with a 1 ns input slope.
+//
+// Reproduced content: first order lands within a few percent (paper:
+// 4.4%), second order is plot-indistinguishable (paper: 0.15%); the stiff
+// small time constants never have to be resolved to get there.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "circuits/paper_circuits.h"
+#include "core/engine.h"
+#include "sim/transient.h"
+
+using namespace awesim;
+
+int main() {
+  bench::print_header("FIGS. 17/18",
+                      "MOS interconnect tree (Fig. 16), 1 ns input slope, "
+                      "voltage at C7");
+  circuits::Drive drive;
+  drive.rise_time = 1e-9;
+  auto ckt = circuits::fig16_mos_interconnect(drive);
+  const auto out = ckt.find_node("n7");
+  core::Engine engine(ckt);
+
+  core::EngineOptions o1;
+  o1.order = 1;
+  const auto r1 = engine.approximate(out, o1);
+  core::EngineOptions o2;
+  o2.order = 2;
+  const auto r2 = engine.approximate(out, o2);
+
+  sim::TransientSimulator sim(ckt);
+  sim::AdaptiveOptions aopt;
+  aopt.tolerance = 1e-7;
+  const double t_end = 8e-9;
+  const auto ref = sim.run_adaptive({out}, t_end, aopt);
+
+  bench::print_waveform_comparison(
+      ref, "sim",
+      {{"awe q=1", &r1.approximation}, {"awe q=2", &r2.approximation}},
+      0.0, t_end, 21);
+
+  std::printf("\n");
+  bench::print_metric("error estimate q=1 (paper: 4.4%)",
+                      r1.error_estimate);
+  bench::print_metric("error estimate q=2 (paper: 0.15%)",
+                      r2.error_estimate);
+  bench::print_metric("measured error q=1 vs sim",
+                      bench::measured_error(r1.approximation, ref, 0.0,
+                                            t_end));
+  bench::print_metric("measured error q=2 vs sim",
+                      bench::measured_error(r2.approximation, ref, 0.0,
+                                            t_end));
+  // Stiffness on display: actual pole magnitudes span decades.
+  const auto actual = engine.actual_poles();
+  bench::print_metric("slowest actual pole", actual.front().real(),
+                      "rad/s");
+  bench::print_metric("fastest actual pole", actual.back().real(),
+                      "rad/s");
+  return 0;
+}

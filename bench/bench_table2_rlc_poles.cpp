@@ -1,0 +1,63 @@
+// Table II: RLC circuit (Fig. 25) poles and approximate poles.
+//
+// Reproduced content: the 2nd-order AWE approximation finds one complex
+// pair near the actual dominant pair; the 4th-order approximation places
+// two pairs near the first two actual pairs; the actual system has three
+// under-damped complex pairs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "circuits/paper_circuits.h"
+#include "core/engine.h"
+
+using namespace awesim;
+
+namespace {
+
+la::ComplexVector approx_poles(core::Engine& engine, circuit::NodeId out,
+                               int q) {
+  core::EngineOptions opt;
+  opt.order = q;
+  const auto result = engine.approximate(out, opt);
+  la::ComplexVector poles;
+  for (const auto& atom : result.approximation.atoms()) {
+    for (const auto& t : atom.terms) poles.push_back(t.pole);
+    if (!atom.terms.empty()) break;
+  }
+  std::sort(poles.begin(), poles.end(),
+            [](la::Complex a, la::Complex b) {
+              if (std::abs(a) != std::abs(b)) return std::abs(a) < std::abs(b);
+              return a.imag() < b.imag();
+            });
+  return poles;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("TABLE II",
+                      "RLC circuit poles and approximate poles (Fig. 25), "
+                      "5 V ideal step");
+  auto ckt = circuits::fig25_rlc_ladder();
+  core::Engine engine(ckt);
+  const auto out = ckt.find_node("n3");
+
+  const auto q2 = approx_poles(engine, out, 2);
+  const auto q4 = approx_poles(engine, out, 4);
+  const auto actual = engine.actual_poles();
+  bench::print_pole_table({"2nd order", "4th order", "actual"},
+                          {q2, q4, actual});
+
+  // First-order sanity row, as discussed in Section 5.4: a single real
+  // pole, inadequate for a ringing response.
+  core::EngineOptions opt;
+  opt.order = 1;
+  const auto q1 = engine.approximate(out, opt);
+  if (!q1.approximation.atoms()[1].terms.empty()) {
+    std::printf("\n1st-order (single real) pole: %s\n",
+                bench::pole_str(
+                    q1.approximation.atoms()[1].terms[0].pole)
+                    .c_str());
+  }
+  return 0;
+}

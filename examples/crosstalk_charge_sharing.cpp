@@ -1,0 +1,96 @@
+// Crosstalk / charge sharing (the paper's Section 5.3 scenario, turned
+// into a little study): an aggressor net couples into a quiet victim net
+// through a floating capacitor.  RC-tree methods cannot even represent
+// this circuit; AWE handles it directly.
+//
+// The example sweeps the coupling capacitance and reports, from the AWE
+// models alone (no transient simulation):
+//   * the victim's peak noise voltage and its timing,
+//   * the aggressor's 50% delay shift caused by the coupling,
+//   * the exactness of the transferred charge (matched m_0).
+#include <cmath>
+#include <cstdio>
+
+#include "circuit/circuit.h"
+#include "core/engine.h"
+#include "core/pade.h"
+
+using namespace awesim;
+
+namespace {
+
+circuit::Circuit coupled_nets(double coupling_farads) {
+  circuit::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto a1 = ckt.node("a1");
+  const auto a2 = ckt.node("a2");  // aggressor output
+  const auto v1 = ckt.node("v1");  // victim internal
+  const auto v2 = ckt.node("v2");  // victim output (held by its driver)
+  ckt.add_vsource("Vdrv", in, circuit::kGround,
+                  circuit::Stimulus::ramp_step(0.0, 5.0, 0.3e-9));
+  // Aggressor: driver + two wire segments.
+  ckt.add_resistor("Rdrv", in, a1, 700.0);
+  ckt.add_capacitor("Ca1", a1, circuit::kGround, 40e-15);
+  ckt.add_resistor("Rw1", a1, a2, 300.0);
+  ckt.add_capacitor("Ca2", a2, circuit::kGround, 70e-15);
+  // Victim: quiet net held at 0 by its own driver resistance.
+  ckt.add_resistor("Rvd", v2, circuit::kGround, 1.2e3);
+  ckt.add_resistor("Rw2", v2, v1, 400.0);
+  ckt.add_capacitor("Cv1", v1, circuit::kGround, 50e-15);
+  ckt.add_capacitor("Cv2", v2, circuit::kGround, 60e-15);
+  if (coupling_farads > 0.0) {
+    ckt.add_capacitor("Cx", a2, v1, coupling_farads);
+  }
+  return ckt;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Crosstalk study: aggressor-victim coupling sweep\n");
+  std::printf("(all numbers from AWE order-3 models; no simulation)\n\n");
+  std::printf("%10s %12s %12s %14s %14s %14s\n", "Cx (F)", "victim pk(V)",
+              "pk time (s)", "aggr d50 (s)", "d50 shift", "charge (V*s)");
+
+  double baseline_d50 = 0.0;
+  for (const double cx : {0.0, 10e-15, 30e-15, 60e-15, 120e-15}) {
+    auto ckt = coupled_nets(cx);
+    core::Engine engine(ckt);
+    core::EngineOptions opt;
+    opt.order = 3;
+
+    // Aggressor delay.
+    const auto aggr = engine.approximate(ckt.find_node("a2"), opt);
+    const double horizon = 20e-9;
+    const double d50 =
+        aggr.approximation.first_crossing(2.5, 0.0, horizon).value_or(-1);
+    if (cx == 0.0) baseline_d50 = d50;
+
+    // Victim noise: scan the closed-form waveform for its peak.
+    const auto victim = engine.approximate(ckt.find_node("v1"), opt);
+    double peak = 0.0;
+    double peak_t = 0.0;
+    for (int i = 0; i <= 4000; ++i) {
+      const double t = horizon * i / 4000.0;
+      const double v = victim.approximation.value(t);
+      if (std::abs(v) > std::abs(peak)) {
+        peak = v;
+        peak_t = t;
+      }
+    }
+    // Transferred charge: the victim's voltage-time area, exact from the
+    // matched m_0 moments (closed form, no sampling).
+    const double area = victim.approximation.settling_area();
+
+    std::printf("%10.1e %12.4f %12.3e %14.4e %13.2f%% %14.3e\n", cx, peak,
+                peak_t, d50,
+                baseline_d50 > 0 ? 100.0 * (d50 - baseline_d50) / baseline_d50
+                                 : 0.0,
+                area);
+  }
+  std::printf(
+      "\nThe victim peak grows with coupling while its area tracks the\n"
+      "injected charge; the aggressor slows down as it must also charge\n"
+      "the coupling capacitor (the paper's delay shift, Fig. 23).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// PCB-level net with inductance (the paper's Section I motivation for
+// going beyond RC trees): a driver, a connector stub, and a 4-segment
+// trace modeled as RLC sections.
+//
+// The example sweeps the driver rise time and reports, from AWE models:
+//   * overshoot (ringing) at the receiver,
+//   * 50% delay and settling behaviour,
+//   * what a wrong model costs: the same trace with inductors removed
+//     (RC-only, what an RC-tree method would use) misses the ringing
+//     entirely.
+#include <cmath>
+#include <cstdio>
+
+#include "circuit/circuit.h"
+#include "core/engine.h"
+
+using namespace awesim;
+
+namespace {
+
+circuit::Circuit pcb_net(double rise_time, bool with_inductance) {
+  circuit::Circuit ckt;
+  const auto in = ckt.node("in");
+  ckt.add_vsource("Vdrv", in, circuit::kGround,
+                  circuit::Stimulus::ramp_step(0.0, 3.3, rise_time));
+  const auto drv = ckt.node("drv");
+  ckt.add_resistor("Rdrv", in, drv, 25.0);
+  // 4 trace segments: 2 nH / 0.9 pF / 0.4 Ohm each.
+  auto prev = drv;
+  for (int k = 1; k <= 4; ++k) {
+    const auto nk = ckt.node("t" + std::to_string(k));
+    if (with_inductance) {
+      const auto mid = ckt.node("m" + std::to_string(k));
+      ckt.add_inductor("L" + std::to_string(k), prev, mid, 2e-9);
+      ckt.add_resistor("Rs" + std::to_string(k), mid, nk, 0.4);
+    } else {
+      ckt.add_resistor("Rs" + std::to_string(k), prev, nk, 0.4);
+    }
+    ckt.add_capacitor("C" + std::to_string(k), nk, circuit::kGround,
+                      0.9e-12);
+    prev = nk;
+  }
+  // Receiver load.
+  ckt.add_capacitor("Crx", prev, circuit::kGround, 2e-12);
+  return ckt;
+}
+
+struct Numbers {
+  double overshoot_pct;
+  double d50;
+  int order_used;
+  double error_estimate;
+};
+
+Numbers analyze(circuit::Circuit& ckt) {
+  core::Engine engine(ckt);
+  core::EngineOptions opt;
+  opt.order = 2;
+  opt.auto_order = true;  // let AWE pick the order the waveform needs
+  opt.error_tolerance = 0.01;
+  opt.max_order = 8;
+  const auto r = engine.approximate(ckt.find_node("t4"), opt);
+  const double horizon = 30e-9;
+  double peak = 0.0;
+  for (int i = 0; i <= 6000; ++i) {
+    peak = std::max(peak, r.approximation.value(horizon * i / 6000.0));
+  }
+  Numbers n;
+  n.overshoot_pct = 100.0 * (peak - 3.3) / 3.3;
+  n.d50 =
+      r.approximation.first_crossing(1.65, 0.0, horizon).value_or(-1.0);
+  n.order_used = r.order_used;
+  n.error_estimate = r.error_estimate;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PCB trace timing: rise-time sweep at the receiver (t4)\n\n");
+  std::printf("%12s | %22s | %22s\n", "", "RLC model (AWE)",
+              "RC-only model (AWE)");
+  std::printf("%12s | %9s %6s %5s | %9s %6s %5s\n", "rise time",
+              "overshoot", "d50", "q", "overshoot", "d50", "q");
+  for (const double rise : {0.1e-9, 0.3e-9, 1e-9, 3e-9}) {
+    auto rlc = pcb_net(rise, true);
+    auto rc = pcb_net(rise, false);
+    const auto a = analyze(rlc);
+    const auto b = analyze(rc);
+    std::printf("%10.1e s | %8.1f%% %6.2f %5d | %8.1f%% %6.2f %5d\n", rise,
+                a.overshoot_pct, a.d50 * 1e9, a.order_used,
+                b.overshoot_pct, b.d50 * 1e9, b.order_used);
+  }
+  std::printf(
+      "\n(d50 in ns.)  With fast edges the RLC model rings: double-digit\n"
+      "overshoot that the RC-only model cannot produce, and AWE escalates\n"
+      "its order to capture the complex poles -- exactly why the paper\n"
+      "argues PCB and bipolar nets need more than RC trees.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: build an RC interconnect stage programmatically, run AWE,
+// and extract delay numbers.
+//
+//   $ ./quickstart
+//
+// Shows the three-line "hello world" of the library:
+//   1. describe the circuit (or parse a netlist, see the other examples);
+//   2. create an Engine and ask for an approximation at the output;
+//   3. evaluate the returned closed-form waveform wherever you like.
+#include <cstdio>
+
+#include "circuit/circuit.h"
+#include "core/engine.h"
+
+using namespace awesim;
+
+int main() {
+  // A 3-segment wire driven through a 1 kOhm driver: 5 V step input.
+  circuit::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto a = ckt.node("a");
+  const auto b = ckt.node("b");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("Vdrv", in, circuit::kGround,
+                  circuit::Stimulus::step(0.0, 5.0));
+  ckt.add_resistor("Rdrv", in, a, 1e3);
+  ckt.add_capacitor("Ca", a, circuit::kGround, 20e-15);
+  ckt.add_resistor("Rw1", a, b, 400.0);
+  ckt.add_capacitor("Cb", b, circuit::kGround, 35e-15);
+  ckt.add_resistor("Rw2", b, out, 400.0);
+  ckt.add_capacitor("Cout", out, circuit::kGround, 50e-15);
+
+  core::Engine engine(ckt);
+
+  // Classic Elmore number first (the first moment of the response).
+  const double elmore = engine.elmore_delay(out);
+  std::printf("Elmore delay at out: %.4g s\n", elmore);
+
+  // Second-order AWE with the built-in accuracy estimate.
+  core::EngineOptions opt;
+  opt.order = 2;
+  const auto result = engine.approximate(out, opt);
+  std::printf("AWE order used: %d, stable: %s, error estimate: %.3g\n",
+              result.order_used, result.stable ? "yes" : "no",
+              result.error_estimate);
+
+  // The approximation is a closed-form waveform: sample it, cross it.
+  const double horizon = 10.0 * elmore;
+  const auto t50 = result.approximation.first_crossing(2.5, 0.0, horizon);
+  const auto t90 = result.approximation.first_crossing(4.5, 0.0, horizon);
+  if (t50 && t90) {
+    std::printf("50%% delay: %.4g s   90%% delay: %.4g s\n", *t50, *t90);
+  }
+  std::printf("\n%12s %12s\n", "t (s)", "v(out) (V)");
+  for (int i = 0; i <= 10; ++i) {
+    const double t = horizon * i / 10.0;
+    std::printf("%12.4e %12.6f\n", t, result.approximation.value(t));
+  }
+
+  // Want more accuracy?  Ask for automatic order escalation.
+  core::EngineOptions auto_opt;
+  auto_opt.order = 1;
+  auto_opt.auto_order = true;
+  auto_opt.error_tolerance = 1e-3;
+  const auto refined = engine.approximate(out, auto_opt);
+  std::printf("\nauto-order picked q=%d (error estimate %.2g)\n",
+              refined.order_used, refined.error_estimate);
+  return 0;
+}

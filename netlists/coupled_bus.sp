@@ -1,0 +1,17 @@
+* Two-bit bus with inter-wire coupling, built from a wire-segment
+* subcircuit; aggressor switches, victim held low by its driver.
+.subckt seg in out
+Rw in out 350
+Cw out 0 45f
+.ends
+Vagg drv0 0 STEP(0 5 0 0.3n)
+Rdrv0 drv0 a0 800
+X1 a0 a1 seg
+X2 a1 a2 seg
+Rdrv1 v0 0 1200
+X3 v0 v1 seg
+X4 v1 v2 seg
+* coupling between the far segments of the two wires
+Cx1 a1 v1 30f
+Cx2 a2 v2 40f
+.end

@@ -1,0 +1,14 @@
+* Fig. 25 underdamped RLC ladder: three complex pole pairs.
+* Tapered sections; output at n3.
+Vin in 0 STEP(0 5)
+R1 in a 30
+L1 a b1 10n
+Rw1 b1 n1 6
+C1 n1 0 2p
+L2 n1 b2 4n
+Rw2 b2 n2 4
+C2 n2 0 0.8p
+L3 n2 b3 1.6n
+Rw3 b3 n3 2
+C3 n3 0 0.32p
+.end

@@ -1,0 +1,12 @@
+* Fig. 4 RC tree (paper Section IV): Elmore(n4) = 0.6 ms.
+* Drive: 5 V ideal step.
+Vin in 0 STEP(0 5)
+R1 in n1 1k
+R2 n1 n2 1k
+R3 n1 n3 1k
+R4 n3 n4 1k
+C1 n1 0 50n
+C2 n2 0 50n
+C3 n3 0 100n
+C4 n4 0 100n
+.end

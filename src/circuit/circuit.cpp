@@ -1,0 +1,215 @@
+#include "circuit/circuit.h"
+
+#include <set>
+
+namespace awesim::circuit {
+
+Circuit::Circuit() {
+  node_names_.push_back("0");
+  node_ids_.emplace("0", kGround);
+}
+
+NodeId Circuit::node(std::string_view name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.emplace_back(name);
+  node_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+NodeId Circuit::find_node(std::string_view name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  auto it = node_ids_.find(name);
+  if (it == node_ids_.end()) {
+    throw std::out_of_range("Circuit: unknown node '" + std::string(name) +
+                            "'");
+  }
+  return it->second;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  return node_names_.at(static_cast<std::size_t>(id));
+}
+
+Element& Circuit::add(Element e) {
+  elements_.push_back(std::move(e));
+  return elements_.back();
+}
+
+Element& Circuit::add_resistor(std::string name, NodeId pos, NodeId neg,
+                               double ohms) {
+  return add({.kind = ElementKind::Resistor,
+              .name = std::move(name),
+              .pos = pos,
+              .neg = neg,
+              .value = ohms});
+}
+
+Element& Circuit::add_capacitor(std::string name, NodeId pos, NodeId neg,
+                                double farads,
+                                std::optional<double> initial_voltage) {
+  Element e{.kind = ElementKind::Capacitor,
+            .name = std::move(name),
+            .pos = pos,
+            .neg = neg,
+            .value = farads};
+  e.initial_condition = initial_voltage;
+  return add(std::move(e));
+}
+
+Element& Circuit::add_inductor(std::string name, NodeId pos, NodeId neg,
+                               double henries,
+                               std::optional<double> initial_current) {
+  Element e{.kind = ElementKind::Inductor,
+            .name = std::move(name),
+            .pos = pos,
+            .neg = neg,
+            .value = henries};
+  e.initial_condition = initial_current;
+  return add(std::move(e));
+}
+
+Element& Circuit::add_vsource(std::string name, NodeId pos, NodeId neg,
+                              Stimulus stimulus) {
+  Element e{.kind = ElementKind::VoltageSource,
+            .name = std::move(name),
+            .pos = pos,
+            .neg = neg};
+  e.stimulus = std::move(stimulus);
+  return add(std::move(e));
+}
+
+Element& Circuit::add_isource(std::string name, NodeId pos, NodeId neg,
+                              Stimulus stimulus) {
+  Element e{.kind = ElementKind::CurrentSource,
+            .name = std::move(name),
+            .pos = pos,
+            .neg = neg};
+  e.stimulus = std::move(stimulus);
+  return add(std::move(e));
+}
+
+Element& Circuit::add_vcvs(std::string name, NodeId pos, NodeId neg,
+                           NodeId cpos, NodeId cneg, double gain) {
+  return add({.kind = ElementKind::Vcvs,
+              .name = std::move(name),
+              .pos = pos,
+              .neg = neg,
+              .value = gain,
+              .ctrl_pos = cpos,
+              .ctrl_neg = cneg});
+}
+
+Element& Circuit::add_vccs(std::string name, NodeId pos, NodeId neg,
+                           NodeId cpos, NodeId cneg,
+                           double transconductance) {
+  return add({.kind = ElementKind::Vccs,
+              .name = std::move(name),
+              .pos = pos,
+              .neg = neg,
+              .value = transconductance,
+              .ctrl_pos = cpos,
+              .ctrl_neg = cneg});
+}
+
+Element& Circuit::add_cccs(std::string name, NodeId pos, NodeId neg,
+                           std::string ctrl_vsource, double gain) {
+  Element e{.kind = ElementKind::Cccs,
+            .name = std::move(name),
+            .pos = pos,
+            .neg = neg,
+            .value = gain};
+  e.ctrl_source = std::move(ctrl_vsource);
+  return add(std::move(e));
+}
+
+Element& Circuit::add_ccvs(std::string name, NodeId pos, NodeId neg,
+                           std::string ctrl_vsource,
+                           double transresistance) {
+  Element e{.kind = ElementKind::Ccvs,
+            .name = std::move(name),
+            .pos = pos,
+            .neg = neg,
+            .value = transresistance};
+  e.ctrl_source = std::move(ctrl_vsource);
+  return add(std::move(e));
+}
+
+void Circuit::set_initial_node_voltage(NodeId node, double volts) {
+  if (node == kGround) {
+    throw std::invalid_argument("Circuit: cannot set IC on ground");
+  }
+  initial_node_voltages_[node] = volts;
+}
+
+const Element* Circuit::find_element(std::string_view name) const {
+  for (const auto& e : elements_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+void Circuit::validate() const {
+  // Every registered node must touch at least one element; a dangling
+  // node would make the MNA matrix structurally singular with a far less
+  // helpful error.
+  std::set<NodeId> touched;
+  touched.insert(kGround);
+  for (const auto& e : elements_) {
+    touched.insert(e.pos);
+    touched.insert(e.neg);
+  }
+  for (std::size_t id = 1; id < node_names_.size(); ++id) {
+    if (touched.count(static_cast<NodeId>(id)) == 0) {
+      throw std::invalid_argument("Circuit: node '" + node_names_[id] +
+                                  "' is not connected to any element");
+    }
+  }
+
+  std::set<std::string_view> names;
+  for (const auto& e : elements_) {
+    if (e.name.empty()) {
+      throw std::invalid_argument("Circuit: element with empty name");
+    }
+    if (!names.insert(e.name).second) {
+      throw std::invalid_argument("Circuit: duplicate element name '" +
+                                  e.name + "'");
+    }
+    switch (e.kind) {
+      case ElementKind::Resistor:
+      case ElementKind::Capacitor:
+      case ElementKind::Inductor:
+        if (!(e.value > 0.0)) {
+          throw std::invalid_argument("Circuit: element '" + e.name +
+                                      "' must have a positive value");
+        }
+        break;
+      case ElementKind::Cccs:
+      case ElementKind::Ccvs: {
+        const Element* ctrl = find_element(e.ctrl_source);
+        if (ctrl == nullptr) {
+          throw std::invalid_argument("Circuit: '" + e.name +
+                                      "' references unknown control source '" +
+                                      e.ctrl_source + "'");
+        }
+        if (ctrl->kind != ElementKind::VoltageSource &&
+            ctrl->kind != ElementKind::Inductor) {
+          throw std::invalid_argument(
+              "Circuit: '" + e.name +
+              "' control element must be a voltage source or inductor");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    if (e.pos == e.neg) {
+      throw std::invalid_argument("Circuit: element '" + e.name +
+                                  "' shorts a node to itself");
+    }
+  }
+}
+
+}  // namespace awesim::circuit

@@ -1,0 +1,137 @@
+// The lumped, linear, time-invariant circuit model that AWE analyzes
+// (Section III of the paper): resistors, capacitors (grounded or floating),
+// inductors, independent V/I sources with step/ramp/PWL stimuli, the four
+// linear controlled sources, and nonequilibrium initial conditions.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/waveform_spec.h"
+
+namespace awesim::circuit {
+
+/// Node index.  Ground is always node 0 and is named "0" (or "gnd").
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+enum class ElementKind {
+  Resistor,
+  Capacitor,
+  Inductor,
+  VoltageSource,
+  CurrentSource,
+  Vcvs,  // E: voltage-controlled voltage source
+  Vccs,  // G: voltage-controlled current source
+  Cccs,  // F: current-controlled current source
+  Ccvs,  // H: current-controlled voltage source
+};
+
+/// One circuit element.  Two-terminal elements use (pos, neg); controlled
+/// sources additionally reference a controlling node pair (VCVS/VCCS) or a
+/// controlling voltage-source element (CCCS/CCVS).
+struct Element {
+  ElementKind kind{};
+  std::string name;
+  NodeId pos = kGround;
+  NodeId neg = kGround;
+
+  /// R in ohms, C in farads, L in henries, or controlled-source gain.
+  double value = 0.0;
+
+  /// Stimulus for independent sources; unused otherwise.
+  Stimulus stimulus;
+
+  /// Controlling node pair for VCVS/VCCS.
+  NodeId ctrl_pos = kGround;
+  NodeId ctrl_neg = kGround;
+
+  /// Name of the controlling voltage source for CCCS/CCVS.
+  std::string ctrl_source;
+
+  /// Initial condition: capacitor branch voltage v(pos)-v(neg) or inductor
+  /// current (pos -> neg), at t = 0-.
+  std::optional<double> initial_condition;
+};
+
+/// A netlist-level circuit: a node name table plus an element list.
+///
+/// Build programmatically:
+///   Circuit c;
+///   auto in  = c.node("in");
+///   auto out = c.node("out");
+///   c.add_vsource("Vin", in, circuit::kGround, Stimulus::step(0, 5));
+///   c.add_resistor("R1", in, out, 1e3);
+///   c.add_capacitor("C1", out, circuit::kGround, 1e-12);
+/// or parse from a SPICE-like netlist (see netlist/parser.h).
+class Circuit {
+ public:
+  Circuit();
+
+  /// Get-or-create a node by name.  "0", "gnd", and "GND" map to ground.
+  NodeId node(std::string_view name);
+
+  /// Look up an existing node; throws std::out_of_range if absent.
+  NodeId find_node(std::string_view name) const;
+
+  /// Name of a node id.
+  const std::string& node_name(NodeId id) const;
+
+  /// Number of nodes including ground.
+  std::size_t node_count() const { return node_names_.size(); }
+
+  const std::vector<Element>& elements() const { return elements_; }
+
+  Element& add_resistor(std::string name, NodeId pos, NodeId neg,
+                        double ohms);
+  Element& add_capacitor(std::string name, NodeId pos, NodeId neg,
+                         double farads,
+                         std::optional<double> initial_voltage = {});
+  Element& add_inductor(std::string name, NodeId pos, NodeId neg,
+                        double henries,
+                        std::optional<double> initial_current = {});
+  Element& add_vsource(std::string name, NodeId pos, NodeId neg,
+                       Stimulus stimulus);
+  Element& add_isource(std::string name, NodeId pos, NodeId neg,
+                       Stimulus stimulus);
+  Element& add_vcvs(std::string name, NodeId pos, NodeId neg, NodeId cpos,
+                    NodeId cneg, double gain);
+  Element& add_vccs(std::string name, NodeId pos, NodeId neg, NodeId cpos,
+                    NodeId cneg, double transconductance);
+  Element& add_cccs(std::string name, NodeId pos, NodeId neg,
+                    std::string ctrl_vsource, double gain);
+  Element& add_ccvs(std::string name, NodeId pos, NodeId neg,
+                    std::string ctrl_vsource, double transresistance);
+
+  /// Set the initial voltage of a node (the SPICE .ic card).  Node initial
+  /// voltages and element initial conditions may both be given; element
+  /// conditions take precedence for their branch.
+  void set_initial_node_voltage(NodeId node, double volts);
+
+  const std::map<NodeId, double>& initial_node_voltages() const {
+    return initial_node_voltages_;
+  }
+
+  /// Find an element by (case-sensitive) name; nullptr if absent.
+  const Element* find_element(std::string_view name) const;
+
+  /// Throws std::invalid_argument describing the first structural problem:
+  /// duplicate element names, non-positive R/C/L values, dangling
+  /// controlled-source references, or a CCCS/CCVS controlling element that
+  /// is not a voltage source.
+  void validate() const;
+
+ private:
+  Element& add(Element e);
+
+  std::vector<std::string> node_names_;
+  std::map<std::string, NodeId, std::less<>> node_ids_;
+  std::vector<Element> elements_;
+  std::map<NodeId, double> initial_node_voltages_;
+};
+
+}  // namespace awesim::circuit

@@ -1,0 +1,95 @@
+#include "circuit/waveform_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace awesim::circuit {
+
+Stimulus Stimulus::dc(double value) {
+  Stimulus s;
+  s.initial_value_ = value;
+  return s;
+}
+
+Stimulus Stimulus::step(double v0, double v1, double delay) {
+  Stimulus s;
+  s.initial_value_ = v0;
+  s.segments_.push_back({delay, v1 - v0, 0.0});
+  return s;
+}
+
+Stimulus Stimulus::ramp_step(double v0, double v1, double rise_time,
+                             double delay) {
+  if (rise_time <= 0.0) return step(v0, v1, delay);
+  Stimulus s;
+  s.initial_value_ = v0;
+  const double slope = (v1 - v0) / rise_time;
+  s.segments_.push_back({delay, 0.0, slope});
+  s.segments_.push_back({delay + rise_time, 0.0, -slope});
+  return s;
+}
+
+Stimulus Stimulus::pwl(const std::vector<std::pair<double, double>>& points) {
+  if (points.empty()) {
+    throw std::invalid_argument("Stimulus::pwl: no points");
+  }
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].first <= points[i - 1].first) {
+      throw std::invalid_argument("Stimulus::pwl: times must increase");
+    }
+  }
+  Stimulus s;
+  s.initial_value_ = points.front().second;
+  double prev_slope = 0.0;
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const double slope = (points[i + 1].second - points[i].second) /
+                         (points[i + 1].first - points[i].first);
+    s.segments_.push_back({points[i].first, 0.0, slope - prev_slope});
+    prev_slope = slope;
+  }
+  // Flatten after the last point.
+  s.segments_.push_back({points.back().first, 0.0, -prev_slope});
+  // Drop no-op segments (e.g. zero-slope intervals).
+  std::erase_if(s.segments_, [](const StimulusSegment& seg) {
+    return seg.value_jump == 0.0 && seg.slope_change == 0.0;
+  });
+  return s;
+}
+
+double Stimulus::value(double t) const {
+  double v = initial_value_;
+  for (const auto& seg : segments_) {
+    if (t < seg.time) break;
+    v += seg.value_jump + seg.slope_change * (t - seg.time);
+  }
+  return v;
+}
+
+double Stimulus::slope_after(double t) const {
+  double slope = 0.0;
+  for (const auto& seg : segments_) {
+    if (t < seg.time) break;
+    slope += seg.slope_change;
+  }
+  return slope;
+}
+
+double Stimulus::final_value() const {
+  if (has_unbounded_ramp()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return value(last_breakpoint());
+}
+
+bool Stimulus::has_unbounded_ramp() const {
+  double slope = 0.0;
+  for (const auto& seg : segments_) slope += seg.slope_change;
+  return slope != 0.0;
+}
+
+double Stimulus::last_breakpoint() const {
+  return segments_.empty() ? 0.0 : segments_.back().time;
+}
+
+}  // namespace awesim::circuit

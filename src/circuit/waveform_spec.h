@@ -1,0 +1,69 @@
+// Time-domain stimulus descriptions for independent sources.
+//
+// AWE (Section 3.1 of the paper) handles any excitation of the form
+// u(t) = u0 + u1*t per segment; an arbitrary piecewise-linear stimulus is a
+// superposition of such step/ramp segments (Section 4.3, Fig. 13).  Every
+// stimulus here is therefore canonicalized to a breakpoint list
+// { (t_k, value_jump_k, slope_change_k) } that both the AWE engine
+// (superposition of atoms) and the transient simulator (direct evaluation)
+// consume.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+namespace awesim::circuit {
+
+/// One piecewise-linear breakpoint: at time `time`, the source value jumps
+/// by `value_jump` and its slope changes by `slope_change`.
+struct StimulusSegment {
+  double time = 0.0;
+  double value_jump = 0.0;
+  double slope_change = 0.0;
+};
+
+/// Stimulus of one independent source.  Value prior to the first breakpoint
+/// is `initial_value` (the t <= 0 level, also used for the DC operating
+/// point that initial conditions are measured against).
+class Stimulus {
+ public:
+  /// Constant source (DC).
+  static Stimulus dc(double value);
+
+  /// Ideal step from v0 to v1 at t = delay.
+  static Stimulus step(double v0, double v1, double delay = 0.0);
+
+  /// Step with finite rise time: v0 until `delay`, linear to v1 over
+  /// `rise_time`, then flat (the paper's two-ramp superposition, Fig. 13).
+  static Stimulus ramp_step(double v0, double v1, double rise_time,
+                            double delay = 0.0);
+
+  /// General piecewise-linear waveform through the given (time, value)
+  /// points; constant before the first and after the last point.
+  /// Points must have strictly increasing times.
+  static Stimulus pwl(const std::vector<std::pair<double, double>>& points);
+
+  double initial_value() const { return initial_value_; }
+  const std::vector<StimulusSegment>& segments() const { return segments_; }
+
+  /// Source value at time t.
+  double value(double t) const;
+
+  /// Source slope just after time t (d/dt of the PWL description).
+  double slope_after(double t) const;
+
+  /// Final (t -> infinity) value; only finite if the net slope is zero.
+  double final_value() const;
+
+  /// True if any segment leaves a nonzero net slope at the end.
+  bool has_unbounded_ramp() const;
+
+  /// Time of the last breakpoint (0 for DC).
+  double last_breakpoint() const;
+
+ private:
+  double initial_value_ = 0.0;
+  std::vector<StimulusSegment> segments_;
+};
+
+}  // namespace awesim::circuit

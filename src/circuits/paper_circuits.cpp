@@ -1,0 +1,148 @@
+#include "circuits/paper_circuits.h"
+
+namespace awesim::circuits {
+
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::Stimulus;
+
+namespace {
+
+Stimulus make_input(const Drive& drive) {
+  return drive.rise_time > 0.0
+             ? Stimulus::ramp_step(drive.v0, drive.v1, drive.rise_time)
+             : Stimulus::step(drive.v0, drive.v1);
+}
+
+}  // namespace
+
+circuit::Circuit fig4_rc_tree(const Drive& drive) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto n1 = ckt.node("n1");
+  const auto n2 = ckt.node("n2");
+  const auto n3 = ckt.node("n3");
+  const auto n4 = ckt.node("n4");
+  ckt.add_vsource("Vin", in, kGround, make_input(drive));
+  ckt.add_resistor("R1", in, n1, 1e3);
+  ckt.add_resistor("R2", n1, n2, 1e3);
+  ckt.add_resistor("R3", n1, n3, 1e3);
+  ckt.add_resistor("R4", n3, n4, 1e3);
+  ckt.add_capacitor("C1", n1, kGround, 50e-9);
+  ckt.add_capacitor("C2", n2, kGround, 50e-9);
+  ckt.add_capacitor("C3", n3, kGround, 100e-9);
+  ckt.add_capacitor("C4", n4, kGround, 100e-9);
+  return ckt;
+}
+
+circuit::Circuit fig9_grounded_resistor(const Drive& drive) {
+  Circuit ckt = fig4_rc_tree(drive);
+  ckt.add_resistor("R5", ckt.find_node("n4"), kGround, 4e3);
+  return ckt;
+}
+
+circuit::Circuit fig16_mos_interconnect(const Drive& drive,
+                                        double c6_initial_voltage) {
+  // Main trunk in -> n1 .. n7 (output), with two side branches (n3 -> n8
+  // -> n9 and n5 -> n10) for tree shape.  Values span ~3.5 decades of RC
+  // product: the stiffness Table I demonstrates (dominant pole ~ -1.8e9,
+  // fastest ~ -1e13).
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto n1 = ckt.node("n1");
+  const auto n2 = ckt.node("n2");
+  const auto n3 = ckt.node("n3");
+  const auto n4 = ckt.node("n4");
+  const auto n5 = ckt.node("n5");
+  const auto n6 = ckt.node("n6");
+  const auto n7 = ckt.node("n7");
+  const auto n8 = ckt.node("n8");
+  const auto n9 = ckt.node("n9");
+  const auto n10 = ckt.node("n10");
+  ckt.add_vsource("Vin", in, kGround, make_input(drive));
+  ckt.add_resistor("R1", in, n1, 150.0);
+  ckt.add_resistor("R2", n1, n2, 300.0);
+  ckt.add_resistor("R3", n2, n3, 200.0);
+  ckt.add_resistor("R4", n3, n4, 400.0);
+  ckt.add_resistor("R5", n4, n5, 150.0);
+  ckt.add_resistor("R6", n5, n6, 500.0);
+  ckt.add_resistor("R7", n6, n7, 300.0);
+  ckt.add_resistor("R8", n3, n8, 50.0);
+  ckt.add_resistor("R9", n8, n9, 1.5e3);
+  ckt.add_resistor("R10", n5, n10, 2.5e3);
+  ckt.add_capacitor("C1", n1, kGround, 60e-15);
+  ckt.add_capacitor("C2", n2, kGround, 120e-15);
+  ckt.add_capacitor("C3", n3, kGround, 30e-15);
+  ckt.add_capacitor("C4", n4, kGround, 250e-15);
+  ckt.add_capacitor("C5", n5, kGround, 50e-15);
+  ckt.add_capacitor("C6", n6, kGround, 180e-15,
+                    c6_initial_voltage != 0.0
+                        ? std::optional<double>(c6_initial_voltage)
+                        : std::nullopt);
+  ckt.add_capacitor("C7", n7, kGround, 120e-15);
+  ckt.add_capacitor("C8", n8, kGround, 5e-15);
+  ckt.add_capacitor("C9", n9, kGround, 25e-15);
+  ckt.add_capacitor("C10", n10, kGround, 90e-15);
+  return ckt;
+}
+
+circuit::Circuit fig22_floating_cap(const Drive& drive,
+                                    double c6_initial_voltage) {
+  Circuit ckt = fig16_mos_interconnect(drive, c6_initial_voltage);
+  const auto n7 = ckt.find_node("n7");
+  const auto n12 = ckt.node("n12");
+  // Coupling capacitor from the output into the victim branch; the victim
+  // holds C12 against a resistive leak to ground.
+  ckt.add_capacitor("C11", n7, n12, 60e-15);
+  ckt.add_capacitor("C12", n12, kGround, 120e-15);
+  ckt.add_resistor("R12", n12, kGround, 10e3);
+  return ckt;
+}
+
+circuit::Circuit fig25_rlc_ladder(const Drive& drive) {
+  // Tapered 3-section ladder (decreasing L and C, small per-section wire
+  // resistance): gives three under-damped complex pole pairs with the
+  // paper's spread (ratios ~2.5-3.5x between pairs) and its order-by-order
+  // error behaviour: q=1 useless, q=2 catches the first overshoot, q=4
+  // plot-coincident (Fig. 26).
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto a = ckt.node("a");
+  ckt.add_vsource("Vin", in, kGround, make_input(drive));
+  ckt.add_resistor("R1", in, a, 30.0);
+  const double inductance[3] = {10e-9, 4e-9, 1.6e-9};
+  const double capacitance[3] = {2e-12, 0.8e-12, 0.32e-12};
+  const double wire_r[3] = {6.0, 4.0, 2.0};
+  auto prev = a;
+  for (int k = 0; k < 3; ++k) {
+    const auto bk = ckt.node("b" + std::to_string(k + 1));
+    const auto nk = ckt.node("n" + std::to_string(k + 1));
+    ckt.add_inductor("L" + std::to_string(k + 1), prev, bk, inductance[k]);
+    ckt.add_resistor("Rw" + std::to_string(k + 1), bk, nk, wire_r[k]);
+    ckt.add_capacitor("C" + std::to_string(k + 1), nk, kGround,
+                      capacitance[k]);
+    prev = nk;
+  }
+  return ckt;
+}
+
+circuit::Circuit rc_line(std::size_t sections, double r_total,
+                         double c_total, const Drive& drive) {
+  if (sections == 0) {
+    throw std::invalid_argument("rc_line: sections >= 1");
+  }
+  Circuit ckt;
+  const double r = r_total / static_cast<double>(sections);
+  const double c = c_total / static_cast<double>(sections);
+  auto prev = ckt.node("in");
+  ckt.add_vsource("Vin", prev, kGround, make_input(drive));
+  for (std::size_t i = 1; i <= sections; ++i) {
+    const auto next = ckt.node("n" + std::to_string(i));
+    ckt.add_resistor("R" + std::to_string(i), prev, next, r);
+    ckt.add_capacitor("C" + std::to_string(i), next, kGround, c);
+    prev = next;
+  }
+  return ckt;
+}
+
+}  // namespace awesim::circuits

@@ -1,0 +1,65 @@
+// The example circuits of the paper's Sections IV and V, used by the test
+// suite and by every benchmark that regenerates a table or figure.
+//
+// The scanned paper does not give legible element values, so the values
+// here were chosen to reproduce every *reported characteristic* (see
+// DESIGN.md, "Substitutions"):
+//
+//   * fig4:  4-node RC tree with the eq. 50 Elmore topology; values give
+//     T_D(n4) = 0.6 ms, so the first-order pole is -1/0.6ms = -1667 s^-1
+//     (the paper's -1.667 per-ms pole, eq. 64) and the 1 ms-rise ramp
+//     particular solution is v_p(t) = 5e3 t - 3.5 (eq. 63).
+//   * fig9:  fig4 plus a grounded resistor at the output (the paper's
+//     R5 = 4x the tree resistance scale), giving a steady state below the
+//     5 V input (Section 4.2, Fig. 12).
+//   * fig16: 10-capacitor stiff RC tree with widely varying time
+//     constants: dominant pole near -1.8e9 rad/s, fastest poles beyond
+//     1e13 (Table I's spread), output at C7, optional nonzero IC on C6.
+//   * fig22: fig16 plus a floating coupling capacitor from the output to
+//     a victim branch (C11 -> C12), Section 5.3.
+//   * fig25: series-R, 3-section LC ladder with three underdamped complex
+//     pole pairs in the 1e9..2e10 rad/s range (Table II).
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace awesim::circuits {
+
+/// Stimulus applied at the input of each circuit.
+struct Drive {
+  double v0 = 0.0;
+  double v1 = 5.0;
+  /// 0 = ideal step; > 0 = finite rise time (two-ramp superposition).
+  double rise_time = 0.0;
+};
+
+/// Fig. 4 RC tree.  Nodes: "n1".."n4"; output of interest "n4" (at C4).
+/// R1..R4 = 1 kOhm; C1 = C2 = 50 nF, C3 = C4 = 100 nF; Elmore(n4) = 0.6 ms.
+circuit::Circuit fig4_rc_tree(const Drive& drive = {});
+
+/// Fig. 9: fig4 with R5 = 4 kOhm from "n4" to ground.
+circuit::Circuit fig9_grounded_resistor(const Drive& drive = {});
+
+/// Fig. 16 stiff RC tree; output "n7".  Set c6_initial_voltage nonzero for
+/// the Section 5.2 nonequilibrium-IC experiment (Figs. 20/21, Table I
+/// right half).
+circuit::Circuit fig16_mos_interconnect(const Drive& drive = {},
+                                        double c6_initial_voltage = 0.0);
+
+/// Fig. 22: fig16 plus floating C11 from "n7" to victim "n12"
+/// (C12 to ground, R12 leak to ground).
+circuit::Circuit fig22_floating_cap(const Drive& drive = {},
+                                    double c6_initial_voltage = 0.0);
+
+/// Fig. 25 underdamped RLC ladder; output "n3".  Three complex pole pairs
+/// near (-1.7e9 +- 5.2e9j), (-5.8e8 +- 1.9e10j), (-6.2e8 +- 5.3e10j).
+circuit::Circuit fig25_rlc_ladder(const Drive& drive = {});
+
+/// A uniform N-section RC transmission-line model (for the Section I
+/// "1000x faster than SPICE" speed claim and scaling ablations):
+/// R_total and C_total are split evenly over the sections; output at the
+/// far end, node "n<sections>".
+circuit::Circuit rc_line(std::size_t sections, double r_total,
+                         double c_total, const Drive& drive = {});
+
+}  // namespace awesim::circuits

@@ -1,0 +1,314 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/error.h"
+
+namespace awesim::core {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+double Approximation::value(double t) const {
+  double v = 0.0;
+  for (const auto& atom : atoms_) {
+    if (t < atom.start_time) continue;
+    const double local = t - atom.start_time;
+    v += atom.affine_offset + atom.affine_slope * local;
+    v += evaluate_terms(atom.terms, local);
+  }
+  return v;
+}
+
+double Approximation::final_value() const {
+  double offset = 0.0;
+  double slope = 0.0;
+  for (const auto& atom : atoms_) {
+    offset += atom.affine_offset - atom.affine_slope * atom.start_time;
+    slope += atom.affine_slope;
+  }
+  if (slope != 0.0) return kNan;  // unbounded ramp
+  return offset;
+}
+
+bool Approximation::stable() const {
+  for (const auto& atom : atoms_) {
+    for (const auto& term : atom.terms) {
+      if (term.pole.real() >= 0.0) return false;
+    }
+  }
+  return true;
+}
+
+double Approximation::dominant_time_constant() const {
+  double tau = 0.0;
+  for (const auto& atom : atoms_) {
+    for (const auto& term : atom.terms) {
+      const double re = std::abs(term.pole.real());
+      if (re > 0.0) tau = std::max(tau, 1.0 / re);
+    }
+  }
+  return tau;
+}
+
+double Approximation::settling_area() const {
+  const double v_final = final_value();
+  if (std::isnan(v_final)) return std::numeric_limits<double>::quiet_NaN();
+
+  // Homogeneous contributions: each atom's term set integrates to its
+  // matched mu_0 in closed form.
+  double area = 0.0;
+  for (const auto& atom : atoms_) {
+    area += implied_moment(atom.terms, 0);
+  }
+
+  // Affine transient: a(t) - v_final is piecewise linear between atom
+  // start times and identically zero after the last one (slopes and
+  // offsets cancel when the final value is finite).  The midpoint rule
+  // integrates each linear piece exactly, jumps at the knots included.
+  std::vector<double> knots{0.0};
+  for (const auto& atom : atoms_) knots.push_back(atom.start_time);
+  std::sort(knots.begin(), knots.end());
+  auto affine_minus_final = [&](double t) {
+    double v = -v_final;
+    for (const auto& atom : atoms_) {
+      if (t < atom.start_time) continue;
+      v += atom.affine_offset + atom.affine_slope * (t - atom.start_time);
+    }
+    return v;
+  };
+  for (std::size_t i = 1; i < knots.size(); ++i) {
+    const double a = knots[i - 1];
+    const double b = knots[i];
+    if (b <= a) continue;
+    area += affine_minus_final(0.5 * (a + b)) * (b - a);
+  }
+  return area;
+}
+
+std::optional<double> Approximation::first_crossing(double level, double t0,
+                                                    double t1) const {
+  constexpr std::size_t kScanPoints = 4096;
+  if (!(t1 > t0)) return std::nullopt;
+  double prev_t = t0;
+  double prev_v = value(t0) - level;
+  if (prev_v == 0.0) return t0;
+  for (std::size_t i = 1; i <= kScanPoints; ++i) {
+    const double t =
+        t0 + (t1 - t0) * static_cast<double>(i) /
+                 static_cast<double>(kScanPoints);
+    const double v = value(t) - level;
+    if ((prev_v < 0.0 && v >= 0.0) || (prev_v > 0.0 && v <= 0.0)) {
+      // Bisection refinement on the bracket.
+      double lo = prev_t;
+      double hi = t;
+      double flo = prev_v;
+      for (int it = 0; it < 60; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        const double fm = value(mid) - level;
+        if ((flo < 0.0) == (fm < 0.0)) {
+          lo = mid;
+          flo = fm;
+        } else {
+          hi = mid;
+        }
+      }
+      return 0.5 * (lo + hi);
+    }
+    prev_t = t;
+    prev_v = v;
+  }
+  return std::nullopt;
+}
+
+waveform::Waveform Approximation::sample(double t0, double t1,
+                                         std::size_t count) const {
+  return waveform::Waveform::sample([this](double t) { return value(t); },
+                                    t0, t1, count);
+}
+
+Engine::Engine(const circuit::Circuit& ckt, mna::Options mna)
+    : mna_(ckt, mna) {}
+
+std::vector<Engine::AtomProblem>& Engine::atom_problems() {
+  if (atoms_built_) return atoms_;
+  const std::size_t n = mna_.dim();
+
+  // Equilibrium at the initial source values: the operating point the
+  // stimulus perturbs.
+  const la::RealVector x_eq = mna_.solve(mna_.rhs_initial());
+  const la::RealVector& x0 = mna_.initial_state();
+
+  // Atom at t=0 carries the initial-condition deviation plus any stimulus
+  // event at exactly t=0 (the paper's combined IC + step analysis).
+  la::RealVector xh0_first(n);
+  for (std::size_t i = 0; i < n; ++i) xh0_first[i] = x0[i] - x_eq[i];
+  la::RealVector xb_first(n, 0.0);
+  la::RealVector xa_first(n, 0.0);
+  bool have_first = la::norm_inf(xh0_first) > 0.0;
+
+  for (const auto& ev : mna_.events()) {
+    // Particular solution of this segment's input:
+    //   G x_a = db1;  G x_b = db0 - C x_a.
+    const la::RealVector xa = mna_.solve(ev.slope_change);
+    la::RealVector rhs = ev.value_jump;
+    const la::RealVector cxa = mna_.apply_C(xa);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] -= cxa[i];
+    const la::RealVector xb = mna_.solve(rhs);
+
+    if (ev.time <= 0.0) {
+      // Fold into the t=0 atom.
+      for (std::size_t i = 0; i < n; ++i) {
+        xh0_first[i] -= xb[i];
+        xb_first[i] += xb[i];
+        xa_first[i] += xa[i];
+      }
+      have_first = true;
+    } else {
+      AtomProblem atom{ev.time, xb, xa,
+                       MomentSequence(mna_, [&] {
+                         la::RealVector xh(n);
+                         for (std::size_t i = 0; i < n; ++i) xh[i] = -xb[i];
+                         return xh;
+                       }())};
+      atoms_.push_back(std::move(atom));
+    }
+  }
+  if (have_first) {
+    atoms_.insert(atoms_.begin(),
+                  AtomProblem{0.0, xb_first, xa_first,
+                              MomentSequence(mna_, xh0_first)});
+  }
+
+  // The static operating point enters as a terms-free pseudo-atom handled
+  // in approximate() (affine offset only); we keep x_eq implicitly by
+  // storing it in every Result via the base offset.
+  atoms_built_ = true;
+  return atoms_;
+}
+
+Result Engine::approximate(circuit::NodeId output,
+                           const EngineOptions& options) {
+  if (options.order < 1) {
+    throw std::invalid_argument("Engine: order >= 1 required");
+  }
+  const std::size_t out = mna_.node_index(output);
+  auto& atoms = atom_problems();
+  const la::RealVector x_eq = mna_.solve(mna_.rhs_initial());
+
+  const int j0 = options.match_initial_slope ? -2 : -1;
+
+  int q = options.order;
+  Result result;
+  while (true) {
+    result = Result{};
+    result.used_gmin = mna_.used_gmin();
+
+    // Base pseudo-atom: the pre-stimulus operating point.
+    AtomApproximation base;
+    base.start_time = 0.0;
+    base.affine_offset = x_eq[out];
+    result.approximation.atoms().push_back(base);
+
+    double worst_error = 0.0;
+    bool all_stable = true;
+    bool first_atom = true;
+    for (auto& problem : atoms) {
+      // Gather mu_{j0} .. mu_{j0 + 2(q+1)}: enough for the q-match, the
+      // (q+1)-order error reference, and the shifted-window fallback.
+      // Without error estimation only the q-match moments are needed.
+      const int mu_count =
+          options.estimate_error ? 2 * (q + 1) + 1 : 2 * q + 1;
+      std::vector<double> mu;
+      for (int j = j0; j < j0 + mu_count; ++j) {
+        double v = problem.moments.mu(j, out);
+        if (j == -1 && options.jump_consistent &&
+            problem.moments.has_jump(out)) {
+          v = -problem.moments.consistent_initial_value()[out];
+        }
+        mu.push_back(v);
+      }
+
+      MatchOptions mopt = options.match;
+      mopt.frequency_scaling = options.frequency_scaling;
+      // Match at order qq, retrying with the shifted pole window if the
+      // eq. 24 window produces an unstable model (Section 3.3 fallback).
+      auto stable_match = [&](int qq) {
+        MatchOptions local = mopt;
+        local.pole_shift = 0;
+        std::vector<double> window(mu.begin(), mu.begin() + 2 * qq);
+        MatchResult m = match_moments(window, j0, qq, local);
+        if (!m.stable && options.allow_window_shift) {
+          local.pole_shift = 1;
+          std::vector<double> wider(mu.begin(), mu.begin() + 2 * qq + 1);
+          MatchResult shifted = match_moments(wider, j0, qq, local);
+          if (shifted.stable) return shifted;
+        }
+        return m;
+      };
+      MatchResult match = stable_match(q);
+      MatchResult ref;
+      if (options.estimate_error) ref = stable_match(q + 1);
+
+      AtomApproximation atom;
+      atom.start_time = problem.start_time;
+      atom.affine_offset = problem.particular_offset[out];
+      atom.affine_slope = problem.particular_slope[out];
+      atom.terms = match.terms;
+      atom.match = match;
+      result.approximation.atoms().push_back(std::move(atom));
+
+      result.order_used = std::max(result.order_used, match.order_used);
+      if (!match.stable) all_stable = false;
+
+      if (options.estimate_error && !match.terms.empty()) {
+        const double err =
+            options.cauchy_error_bound
+                ? cauchy_relative_error(ref.terms, match.terms)
+                : exact_relative_error(ref.terms, match.terms);
+        if (std::isnan(err)) {
+          worst_error = kNan;
+        } else if (!std::isnan(worst_error)) {
+          worst_error = std::max(worst_error, err);
+        }
+      }
+      if (first_atom) {
+        result.output_moments.assign(mu.begin(), mu.end());
+        first_atom = false;
+      }
+    }
+    result.stable = all_stable;
+    result.error_estimate =
+        options.estimate_error ? worst_error : kNan;
+
+    if (!options.auto_order || !options.estimate_error) break;
+    const bool good = all_stable && !std::isnan(worst_error) &&
+                      worst_error <= options.error_tolerance;
+    if (good || q >= options.max_order) break;
+    ++q;
+  }
+  return result;
+}
+
+la::ComplexVector Engine::actual_poles() const {
+  return core::actual_poles(mna_);
+}
+
+double Engine::elmore_delay(circuit::NodeId output) {
+  const std::size_t out = mna_.node_index(output);
+  auto& atoms = atom_problems();
+  if (atoms.empty()) return 0.0;
+  auto& m = atoms.front().moments;
+  const double mu_m1 = m.mu(-1, out);
+  const double mu_0 = m.mu(0, out);
+  if (mu_m1 == 0.0) return kNan;
+  return -mu_0 / mu_m1;
+}
+
+}  // namespace awesim::core

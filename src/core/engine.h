@@ -1,0 +1,173 @@
+// The AWE engine: the public entry point of the library.
+//
+// Given a linear circuit with arbitrary initial conditions and
+// step/ramp/PWL stimuli, produce a q-pole approximation of any node
+// voltage, exactly as Sections III-V of the paper describe:
+//
+//   * the stimulus is decomposed into step+ramp "atoms" (Section 4.3's
+//     superposition of ramps, generalized to arbitrary PWL inputs);
+//   * each atom's particular (affine) solution is found by DC analysis,
+//     the homogeneous remainder's moments are generated with one shared
+//     LU factorization, and a q-pole model is matched to them;
+//   * the accuracy of order q is estimated against order q+1 (eq. 39),
+//     and in auto-order mode q is escalated until the estimate passes the
+//     tolerance or poles stop being stable (Sections 3.3/3.4).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/moments.h"
+#include "core/pade.h"
+#include "mna/system.h"
+#include "waveform/waveform.h"
+
+namespace awesim::core {
+
+struct EngineOptions {
+  /// Approximation order q (number of poles per atom).
+  int order = 2;
+
+  /// If true, start at `order` and escalate until the error estimate is
+  /// below `error_tolerance` (or `max_order` is reached).  Instability of
+  /// any atom also forces escalation, per Section 3.3.
+  bool auto_order = false;
+  double error_tolerance = 0.02;
+  int max_order = 8;
+
+  /// eq. 47 frequency scaling (ablatable).
+  bool frequency_scaling = true;
+
+  /// Additionally match mu_{-2} (the t=0+ slope), Section 4.3.  Uses one
+  /// moment window position lower; removes the initial-slope glitch of
+  /// ramp responses at the cost of one high-order moment.
+  bool match_initial_slope = false;
+
+  /// Replace mu_{-1} with the sigma-limit consistent initial value when
+  /// the response jumps at t=0+ (capacitively coupled outputs).
+  bool jump_consistent = true;
+
+  /// Use the paper's Cauchy-inequality error bound instead of the exact
+  /// closed-form eq. 39 evaluation.
+  bool cauchy_error_bound = false;
+
+  /// When the eq. 24 window yields an unstable model (positive pole,
+  /// Section 3.3), retry with the pole window shifted to pure moments
+  /// before resorting to order escalation.  See MatchOptions::pole_shift.
+  bool allow_window_shift = true;
+
+  /// Compute the q-vs-(q+1) error estimate.  Disable to measure the bare
+  /// approximation cost (the Fig. 19 / speedup benches); implies
+  /// Result::error_estimate is NaN and auto_order is unavailable.
+  bool estimate_error = true;
+
+  MatchOptions match;
+};
+
+/// The q-pole response model of one stimulus atom starting at
+/// `start_time`: for t >= start_time (local time T = t - start_time),
+///   v(T) = affine_offset + affine_slope*T + sum terms(T).
+struct AtomApproximation {
+  double start_time = 0.0;
+  double affine_offset = 0.0;
+  double affine_slope = 0.0;
+  std::vector<PoleResidueTerm> terms;
+  MatchResult match;  // diagnostics of the moment match
+};
+
+/// A complete waveform approximation: the superposition of all atoms.
+class Approximation {
+ public:
+  double value(double t) const;
+
+  /// Final value (t -> inf); requires all atoms stable and no residual
+  /// ramp.  Matches the exact DC answer by construction (m_0 matching).
+  double final_value() const;
+
+  bool stable() const;
+
+  /// First crossing of `level` in [t0, t1], located by dense scan plus
+  /// bisection; nullopt if never crossed.  Handles nonmonotone waveforms.
+  std::optional<double> first_crossing(double level, double t0,
+                                       double t1) const;
+
+  /// Sample into a Waveform for plotting/comparison.
+  waveform::Waveform sample(double t0, double t1, std::size_t count) const;
+
+  const std::vector<AtomApproximation>& atoms() const { return atoms_; }
+  std::vector<AtomApproximation>& atoms() { return atoms_; }
+
+  /// A time scale for plotting: slowest |1/Re(pole)| over all atoms
+  /// (0 if there are no terms).
+  double dominant_time_constant() const;
+
+  /// Exact closed-form integral  int_0^inf (v(t) - final_value()) dt.
+  /// The homogeneous parts integrate to their matched mu_0 moments; the
+  /// transient part of the affine superposition (nonzero only between
+  /// stimulus breakpoints) integrates exactly as a piecewise-linear
+  /// function.  For a unit step response this is minus the Elmore delay;
+  /// for a victim noise bump (final value 0) it is the transferred
+  /// charge's voltage-time area, exact by construction (Fig. 24).
+  /// Requires a finite final value (no unbounded ramp) and stable atoms.
+  double settling_area() const;
+
+ private:
+  std::vector<AtomApproximation> atoms_;
+  friend class Engine;
+};
+
+struct Result {
+  Approximation approximation;
+
+  /// Largest order actually used across atoms.
+  int order_used = 0;
+  bool stable = true;
+
+  /// Relative error estimate of order q vs order q+1 (eq. 39), maximized
+  /// over atoms; NaN if not computable (unstable q+1 model).
+  double error_estimate = 0.0;
+
+  /// Moment sequence mu_{-1}..mu_{2q} of the first atom at the output
+  /// (for tables and for the Elmore value mu_0).
+  std::vector<double> output_moments;
+
+  /// True if the gmin floating-node fallback engaged.
+  bool used_gmin = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(const circuit::Circuit& ckt, mna::Options mna = {});
+
+  /// Approximate the voltage at `output` (a non-ground node).
+  Result approximate(circuit::NodeId output, const EngineOptions& options);
+
+  /// The circuit's exact natural frequencies (dense eigenvalue solve;
+  /// for Tables I/II style comparisons, not for the timing path).
+  la::ComplexVector actual_poles() const;
+
+  /// Elmore delay at a node: -mu_0 of the unit-step transient normalized
+  /// by the step amplitude.  Defined for any circuit with a DC path; for
+  /// RC trees equals the classic tree-walk value (eq. 50).
+  double elmore_delay(circuit::NodeId output);
+
+  const mna::MnaSystem& system() const { return mna_; }
+
+ private:
+  struct AtomProblem {
+    double start_time = 0.0;
+    la::RealVector particular_offset;  // x_b
+    la::RealVector particular_slope;   // x_a
+    MomentSequence moments;
+  };
+
+  std::vector<AtomProblem>& atom_problems();
+
+  mna::MnaSystem mna_;
+  std::vector<AtomProblem> atoms_;
+  bool atoms_built_ = false;
+};
+
+}  // namespace awesim::core

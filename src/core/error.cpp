@@ -1,0 +1,233 @@
+#include "core/error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace awesim::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double factorial(int n) {
+  double f = 1.0;
+  for (int i = 2; i <= n; ++i) f *= static_cast<double>(i);
+  return f;
+}
+
+// int_0^inf t^(a+b) e^{(p+q)t} dt * 1/(a! b!) for one term pair.
+// Returns nullopt-like divergence through the bool flag.
+bool pair_integral(const PoleResidueTerm& x, const PoleResidueTerm& y,
+                   la::Complex* out) {
+  const la::Complex s = x.pole + y.pole;
+  if (s.real() >= 0.0) return false;
+  const int a = x.power - 1;
+  const int b = y.power - 1;
+  const double coeff = factorial(a + b) / (factorial(a) * factorial(b));
+  *out = x.residue * y.residue * coeff / std::pow(-s, a + b + 1);
+  return true;
+}
+
+// Group conjugate-pair terms into real-valued sub-functions, so the
+// Cauchy-bound pairing (eq. 46) always compares real functions.
+struct RealGroup {
+  std::vector<PoleResidueTerm> terms;  // 1 (real pole) or 2 (conj pair)
+  la::Complex key;                     // representative pole
+  la::Complex residue_sum() const {
+    la::Complex k{0.0, 0.0};
+    for (const auto& t : terms) k += t.residue;
+    return k;
+  }
+};
+
+std::vector<RealGroup> group_conjugates(
+    const std::vector<PoleResidueTerm>& terms) {
+  std::vector<RealGroup> groups;
+  std::vector<bool> used(terms.size(), false);
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (used[i]) continue;
+    RealGroup g;
+    g.terms.push_back(terms[i]);
+    g.key = terms[i].pole;
+    used[i] = true;
+    if (std::abs(terms[i].pole.imag()) >
+        1e-12 * std::abs(terms[i].pole)) {
+      // Find the conjugate partner.
+      for (std::size_t j = i + 1; j < terms.size(); ++j) {
+        if (used[j]) continue;
+        if (std::abs(terms[j].pole - std::conj(terms[i].pole)) <=
+            1e-9 * std::abs(terms[i].pole)) {
+          g.terms.push_back(terms[j]);
+          used[j] = true;
+          break;
+        }
+      }
+      g.key = la::Complex(terms[i].pole.real(),
+                          std::abs(terms[i].pole.imag()));
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+}  // namespace
+
+double inner_product(const std::vector<PoleResidueTerm>& f,
+                     const std::vector<PoleResidueTerm>& g) {
+  la::Complex acc{0.0, 0.0};
+  for (const auto& x : f) {
+    for (const auto& y : g) {
+      la::Complex v;
+      if (!pair_integral(x, y, &v)) return kInf;
+      acc += v;
+    }
+  }
+  return acc.real();
+}
+
+double l2_distance(const std::vector<PoleResidueTerm>& f,
+                   const std::vector<PoleResidueTerm>& g) {
+  std::vector<PoleResidueTerm> diff = f;
+  for (PoleResidueTerm t : g) {
+    t.residue = -t.residue;
+    diff.push_back(t);
+  }
+  const double sq = inner_product(diff, diff);
+  if (!std::isfinite(sq)) return kInf;
+  return std::sqrt(std::max(0.0, sq));
+}
+
+double exact_relative_error(const std::vector<PoleResidueTerm>& ref,
+                            const std::vector<PoleResidueTerm>& approx) {
+  const double den_sq = inner_product(ref, ref);
+  if (!std::isfinite(den_sq)) return kInf;
+  const double num = l2_distance(ref, approx);
+  if (!std::isfinite(num)) return kInf;
+  if (den_sq <= 0.0) return num > 0.0 ? kInf : 0.0;
+  return num / std::sqrt(den_sq);
+}
+
+double cauchy_relative_error(const std::vector<PoleResidueTerm>& ref,
+                             const std::vector<PoleResidueTerm>& approx) {
+  const bool all_simple =
+      std::all_of(ref.begin(), ref.end(),
+                  [](const PoleResidueTerm& t) { return t.power == 1; }) &&
+      std::all_of(approx.begin(), approx.end(),
+                  [](const PoleResidueTerm& t) { return t.power == 1; });
+  if (!all_simple) return exact_relative_error(ref, approx);
+
+  const double den_sq = inner_product(ref, ref);
+  if (!std::isfinite(den_sq)) return kInf;
+
+  auto rgroups = group_conjugates(ref);
+  auto agroups = group_conjugates(approx);
+  if (rgroups.empty()) {
+    return approx.empty() ? 0.0 : kInf;
+  }
+
+  // Pair each approximation group with its nearest reference group
+  // (greedy over ascending pole distance), per the paper's "poles and
+  // residues which lie closest to one another" rule.
+  struct Pairing {
+    double dist;
+    std::size_t r, a;
+  };
+  std::vector<Pairing> candidates;
+  for (std::size_t r = 0; r < rgroups.size(); ++r) {
+    for (std::size_t a = 0; a < agroups.size(); ++a) {
+      candidates.push_back(
+          {std::abs(rgroups[r].key - agroups[a].key), r, a});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Pairing& x, const Pairing& y) {
+              return x.dist < y.dist;
+            });
+  std::vector<int> ref_to_approx(rgroups.size(), -1);
+  std::vector<int> approx_primary(agroups.size(), -1);
+  for (const auto& cand : candidates) {
+    if (approx_primary[cand.a] >= 0 || ref_to_approx[cand.r] >= 0) continue;
+    approx_primary[cand.a] = static_cast<int>(cand.r);
+    ref_to_approx[cand.r] = static_cast<int>(cand.a);
+  }
+  // Leftover reference groups attach to the nearest approximation group;
+  // that group's residue is split (eq. 42/43): its primary partner keeps
+  // the primary's reference residue, the final extra takes the remainder.
+  std::vector<std::vector<std::size_t>> extras(agroups.size());
+  for (std::size_t r = 0; r < rgroups.size(); ++r) {
+    if (ref_to_approx[r] >= 0) continue;
+    double best = kInf;
+    std::size_t best_a = 0;
+    for (std::size_t a = 0; a < agroups.size(); ++a) {
+      const double d = std::abs(rgroups[r].key - agroups[a].key);
+      if (d < best) {
+        best = d;
+        best_a = a;
+      }
+    }
+    if (agroups.empty()) break;
+    extras[best_a].push_back(r);
+  }
+
+  double sum_e = 0.0;
+  auto with_residue_scale = [](const RealGroup& g, la::Complex factor) {
+    std::vector<PoleResidueTerm> t = g.terms;
+    for (auto& term : t) term.residue *= factor;
+    return t;
+  };
+  for (std::size_t a = 0; a < agroups.size(); ++a) {
+    if (approx_primary[a] < 0) {
+      // Approximation group with no reference partner: its whole energy
+      // counts as error.
+      const double sq = inner_product(agroups[a].terms, agroups[a].terms);
+      if (!std::isfinite(sq)) return kInf;
+      sum_e += sq;
+      continue;
+    }
+    const RealGroup& primary =
+        rgroups[static_cast<std::size_t>(approx_primary[a])];
+    if (extras[a].empty()) {
+      const double d = l2_distance(primary.terms, agroups[a].terms);
+      if (!std::isfinite(d)) return kInf;
+      sum_e += d * d;
+      continue;
+    }
+    // Split: primary comparison uses the primary reference residue on the
+    // approximating pole; extras consume the remainder.
+    const la::Complex k_hat = agroups[a].residue_sum();
+    const la::Complex k_primary = primary.residue_sum();
+    la::Complex assigned = k_primary;
+    const la::Complex scale_primary =
+        k_hat != la::Complex{0.0, 0.0} ? k_primary / k_hat
+                                       : la::Complex{0.0, 0.0};
+    {
+      const double d = l2_distance(
+          primary.terms, with_residue_scale(agroups[a], scale_primary));
+      if (!std::isfinite(d)) return kInf;
+      sum_e += d * d;
+    }
+    for (std::size_t idx = 0; idx < extras[a].size(); ++idx) {
+      const RealGroup& extra = rgroups[extras[a][idx]];
+      la::Complex share{0.0, 0.0};
+      if (idx + 1 == extras[a].size()) {
+        share = k_hat - assigned;  // remainder
+      }
+      assigned += share;
+      const la::Complex scale =
+          k_hat != la::Complex{0.0, 0.0} ? share / k_hat
+                                         : la::Complex{0.0, 0.0};
+      const double d =
+          l2_distance(extra.terms, with_residue_scale(agroups[a], scale));
+      if (!std::isfinite(d)) return kInf;
+      sum_e += d * d;
+    }
+  }
+
+  const double factor = static_cast<double>(rgroups.size());
+  const double num_sq = factor * sum_e;
+  if (den_sq <= 0.0) return num_sq > 0.0 ? kInf : 0.0;
+  return std::sqrt(num_sq / den_sq);
+}
+
+}  // namespace awesim::core

@@ -1,0 +1,199 @@
+#include "core/moments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "la/eig.h"
+#include "la/lu.h"
+
+namespace awesim::core {
+
+namespace {
+
+// Sigma for the s->infinity limits, as a multiple of the dominant natural
+// frequency.  Richardson extrapolation squares the relative truncation
+// error, so 1e6 here yields ~1e-12.
+constexpr double kSigmaFactor = 1e6;
+
+// Relative deviation beyond which the sigma-limit initial value replaces
+// the nominal x_h0 entry (i.e. the response genuinely jumps at t=0+).
+constexpr double kJumpTolerance = 1e-6;
+
+}  // namespace
+
+MomentSequence::MomentSequence(const mna::MnaSystem& mna,
+                               la::RealVector x_h0)
+    : mna_(&mna), x_h0_(std::move(x_h0)) {
+  if (x_h0_.size() != mna.dim()) {
+    throw std::invalid_argument("MomentSequence: x_h0 dimension mismatch");
+  }
+  mu_minus1_ = x_h0_;
+  for (auto& v : mu_minus1_) v = -v;
+}
+
+const la::RealVector& MomentSequence::mu(int j) {
+  if (j == -1) return mu_minus1_;
+  if (j == -2) {
+    if (!have_minus2_) {
+      mu_minus2_ = sigma_limit(1);
+      for (auto& v : mu_minus2_) v = -v;  // mu_{-2} = -x_h'(0+)
+      have_minus2_ = true;
+    }
+    return mu_minus2_;
+  }
+  if (j < -2) {
+    throw std::invalid_argument("MomentSequence: j >= -2 required");
+  }
+  while (positive_.size() <= static_cast<std::size_t>(j)) {
+    const la::RealVector& prev =
+        positive_.empty() ? x_h0_ : positive_.back();
+    la::RealVector next = mna_->solve(mna_->apply_C(prev));
+    if (!positive_.empty()) {
+      for (auto& v : next) v = -v;
+    }
+    positive_.push_back(std::move(next));
+  }
+  return positive_[static_cast<std::size_t>(j)];
+}
+
+la::RealVector MomentSequence::sigma_limit(int derivative_order) {
+  // Evaluate f(sigma) = sigma (G + sigma C)^{-1} C x_h0 -> x_h(0+), and
+  // g(sigma) = sigma (f(sigma) - x_h(0+)) -> x_h'(0+), with one Richardson
+  // step each to cancel the leading O(1/sigma) truncation term.
+  //
+  // The limit needs sigma >> |fastest pole|, which is not known a priori
+  // for stiff circuits (and the dominant-pole moment ratio badly
+  // underestimates it).  So walk sigma upward by factors of 100 until two
+  // successive Richardson estimates agree.
+  const std::size_t n = mna_->dim();
+  // Starting scale: the dominant pole magnitude from the moment ratio.
+  const double n0 = la::norm2(mu(0));
+  const double n1 = la::norm2(mu(1));
+  const double gamma = (n0 > 0.0 && n1 > 0.0) ? n0 / n1 : 1.0;
+
+  auto f_of = [&](double sigma) {
+    la::RealVector rhs = mna_->apply_C(x_h0_);
+    for (auto& v : rhs) v *= sigma;
+    return mna_->shifted(sigma).solve(rhs);
+  };
+  auto richardson_at = [&](double sigma) {
+    const la::RealVector f1 = f_of(sigma);
+    const la::RealVector f2 = f_of(2.0 * sigma);
+    la::RealVector x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = 2.0 * f2[i] - f1[i];
+    return x;
+  };
+
+  double sigma0 = kSigmaFactor * gamma;
+  la::RealVector x0plus = richardson_at(sigma0);
+  for (int iter = 0; iter < 8; ++iter) {
+    const double next_sigma = sigma0 * 100.0;
+    const la::RealVector next = richardson_at(next_sigma);
+    const double scale = std::max(la::norm2(next), la::norm2(x0plus));
+    const double diff = la::norm2(la::subtract(next, x0plus));
+    sigma0 = next_sigma;
+    x0plus = next;
+    if (scale == 0.0 || diff <= 1e-9 * scale) break;
+  }
+  if (derivative_order == 0) return x0plus;
+
+  // g(sigma) = sigma (f(sigma) - x0plus) -> x_h'(0+).  Here sigma must be
+  // large enough for truncation but not so large that the subtraction
+  // cancels to rounding noise, so run a separate walk and keep the
+  // estimate at which successive iterates agree best.
+  auto slope_at = [&](double sigma) {
+    const la::RealVector fa = f_of(sigma);
+    const la::RealVector fb = f_of(2.0 * sigma);
+    la::RealVector s(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ga = sigma * (fa[i] - x0plus[i]);
+      const double gb = 2.0 * sigma * (fb[i] - x0plus[i]);
+      s[i] = 2.0 * gb - ga;
+    }
+    return s;
+  };
+  double sigma_s = kSigmaFactor * gamma;
+  la::RealVector slope = slope_at(sigma_s);
+  la::RealVector best = slope;
+  double best_diff = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 6; ++iter) {
+    sigma_s *= 100.0;
+    const la::RealVector next = slope_at(sigma_s);
+    const double scale = std::max(la::norm2(next), la::norm2(slope));
+    const double diff =
+        scale > 0.0 ? la::norm2(la::subtract(next, slope)) / scale : 0.0;
+    if (diff < best_diff) {
+      best_diff = diff;
+      best = next;
+    }
+    slope = next;
+    if (diff <= 1e-7) break;
+  }
+  return best;
+}
+
+const la::RealVector& MomentSequence::consistent_initial_value() {
+  if (!have_consistent_) {
+    consistent_x0_ = sigma_limit(0);
+    have_consistent_ = true;
+  }
+  return consistent_x0_;
+}
+
+bool MomentSequence::has_jump(std::size_t index) {
+  const double nominal = x_h0_[index];
+  const double actual = consistent_initial_value()[index];
+  const double scale =
+      std::max({std::abs(nominal), std::abs(actual), 1e-300});
+  return std::abs(nominal - actual) > kJumpTolerance * scale;
+}
+
+double MomentSequence::gamma_estimate(std::size_t index) {
+  // First pair of consecutive moments that are both clearly nonzero.
+  double scale = 0.0;
+  for (int j = -1; j <= 2; ++j) scale = std::max(scale, std::abs(mu(j, index)));
+  if (scale == 0.0) return 1.0;
+  for (int j = -1; j <= 4; ++j) {
+    const double a = std::abs(mu(j, index));
+    const double b = std::abs(mu(j + 1, index));
+    if (a > 1e-12 * scale && b > 0.0) {
+      const double g = a / b;
+      if (std::isfinite(g) && g > 0.0) return g;
+    }
+  }
+  return 1.0;
+}
+
+la::ComplexVector actual_poles(const mna::MnaSystem& mna,
+                               double drop_tolerance) {
+  const std::size_t n = mna.dim();
+  // W = G^{-1} C, built column by column with the shared LU.
+  la::RealMatrix w(n, n);
+  la::RealVector col(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = mna.C()(i, j);
+    const la::RealVector wj = mna.solve(col);
+    for (std::size_t i = 0; i < n; ++i) w(i, j) = wj[i];
+  }
+  const la::ComplexVector lambda = la::eigenvalues(w);
+  double max_mag = 0.0;
+  for (const auto& l : lambda) max_mag = std::max(max_mag, std::abs(l));
+  la::ComplexVector poles;
+  for (const auto& l : lambda) {
+    if (std::abs(l) > drop_tolerance * max_mag) {
+      poles.push_back(-1.0 / l);
+    }
+  }
+  std::sort(poles.begin(), poles.end(),
+            [](const la::Complex& a, const la::Complex& b) {
+              const double ma = std::abs(a);
+              const double mb = std::abs(b);
+              if (ma != mb) return ma < mb;
+              return a.imag() < b.imag();
+            });
+  return poles;
+}
+
+}  // namespace awesim::core

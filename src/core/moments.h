@@ -1,0 +1,84 @@
+// Moment generation for AWE (Section 3.2 of the paper).
+//
+// For the homogeneous (transient) part of the response the Laplace-domain
+// solution is  X_h(s) = (G + sC)^{-1} C x_h0,  with x_h0 = x(0-) - x_p(0)
+// the deviation of the initial state from the particular solution.  Its
+// Maclaurin coefficients ("circuit moments") follow from one LU
+// factorization of G and repeated forward/back substitution:
+//
+//     M_0 = G^{-1} C x_h0,      M_{j+1} = -G^{-1} C M_j .
+//
+// AWE matches the uniform moment sequence
+//
+//     mu_{-1} = -x_h0   (initial transient value, with sign so that the
+//                        Hankel recurrence below is uniform in j),
+//     mu_j    = M_j     (j >= 0),
+//
+// which satisfies  sum_l k_l p_l^{-(j+1)} = -mu_j  for an exact q-pole
+// response -- the uniform restatement of the paper's eq. (16) that makes
+// eq. (24) a plain Hankel system.  Optionally mu_{-2} = -x_h'(0+) extends
+// the window downward to pin the initial slope (Section 4.3's m_{-2}
+// matching for ramp inputs).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "la/matrix.h"
+#include "mna/system.h"
+
+namespace awesim::core {
+
+/// Lazily extended moment sequence of one homogeneous problem (one "atom"
+/// of the stimulus decomposition).
+class MomentSequence {
+ public:
+  /// x_h0 is the full MNA-space homogeneous initial vector.
+  MomentSequence(const mna::MnaSystem& mna, la::RealVector x_h0);
+
+  /// Moment vector mu_j, j >= -2.  Vectors are cached; each new positive
+  /// order costs one forward/back substitution with the shared LU of G.
+  /// j = -2 triggers the sigma-limit slope computation (see below).
+  const la::RealVector& mu(int j);
+
+  /// Scalar moment at one unknown index.
+  double mu(int j, std::size_t index) { return mu(j)[index]; }
+
+  /// The consistent transient initial value x_h(0+), equal to x_h0 except
+  /// when the stimulus forces an instantaneous (capacitive) jump.
+  /// Computed once by Richardson-extrapolated evaluation of
+  /// sigma*(G + sigma*C)^{-1} C x_h0 at large sigma.
+  const la::RealVector& consistent_initial_value();
+
+  /// True if x_h(0+) differs materially from x_h0 at any unknown (the
+  /// circuit jumps at t=0, e.g. a capacitive divider driven by a step).
+  bool has_jump(std::size_t index);
+
+  /// Estimate of the dominant natural frequency magnitude at one output,
+  /// |mu_j / mu_{j+1}| for the first usable pair -- the paper's frequency
+  /// scale factor gamma (eq. 47).
+  double gamma_estimate(std::size_t index);
+
+  const la::RealVector& x_h0() const { return x_h0_; }
+
+ private:
+  la::RealVector sigma_limit(int derivative_order);
+
+  const mna::MnaSystem* mna_;
+  la::RealVector x_h0_;
+  std::vector<la::RealVector> positive_;  // M_0, M_1, ...
+  la::RealVector mu_minus1_;
+  bool have_minus2_ = false;
+  la::RealVector mu_minus2_;
+  bool have_consistent_ = false;
+  la::RealVector consistent_x0_;
+};
+
+/// The actual natural frequencies of the circuit: p = -1/lambda for the
+/// nonzero eigenvalues lambda of W = G^{-1} C.  Used for the paper's
+/// Tables I and II ("actual poles") and for pole-creep tests.  O(n^3);
+/// intended for analysis, not for the timing path.
+la::ComplexVector actual_poles(const mna::MnaSystem& mna,
+                               double drop_tolerance = 1e-9);
+
+}  // namespace awesim::core

@@ -1,0 +1,111 @@
+#include "core/transfer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/moments.h"
+
+namespace awesim::core {
+
+TransferModel::TransferModel(const mna::MnaSystem& mna,
+                             const std::string& source_name,
+                             circuit::NodeId output, int q,
+                             const MatchOptions& options) {
+  // Unit excitation vector of the chosen source.
+  la::RealVector b_unit(mna.dim(), 0.0);
+  const circuit::Element* src = mna.circuit().find_element(source_name);
+  if (src == nullptr) {
+    throw std::invalid_argument("TransferModel: unknown source '" +
+                                source_name + "'");
+  }
+  if (src->kind == circuit::ElementKind::VoltageSource) {
+    b_unit[*mna.branch_index(source_name)] = 1.0;
+  } else if (src->kind == circuit::ElementKind::CurrentSource) {
+    // SPICE convention: positive current flows pos -> neg through the
+    // source, i.e. it is extracted from pos and injected at neg.
+    if (src->pos != circuit::kGround) {
+      b_unit[mna.node_index(src->pos)] -= 1.0;
+    }
+    if (src->neg != circuit::kGround) {
+      b_unit[mna.node_index(src->neg)] += 1.0;
+    }
+  } else {
+    throw std::invalid_argument("TransferModel: '" + source_name +
+                                "' is not an independent source");
+  }
+  const std::size_t out = mna.node_index(output);
+
+  // Unit step response: particular x_b = G^{-1} b_unit, homogeneous
+  // initial vector x_h0 = -x_b (zero state).
+  const la::RealVector xb = mna.solve(b_unit);
+  dc_gain_ = xb[out];
+  la::RealVector xh0(mna.dim());
+  for (std::size_t i = 0; i < xh0.size(); ++i) xh0[i] = -xb[i];
+
+  MomentSequence seq(mna, xh0);
+  std::vector<double> mu;
+  for (int j = -1; j < 2 * q; ++j) mu.push_back(seq.mu(j, out));
+  MatchOptions mopt = options;
+  MatchResult match = match_moments(mu, -1, q, mopt);
+  if (!match.stable) {
+    // Shifted-window fallback, as in the engine (Section 3.3).
+    mopt.pole_shift = 1;
+    MatchResult shifted = match_moments(mu, -1, q, mopt);
+    if (shifted.stable) match = shifted;
+  }
+  terms_ = match.terms;
+  order_used_ = match.order_used;
+  stable_ = match.stable;
+}
+
+double TransferModel::unit_step(double t) const {
+  if (t < 0.0) return 0.0;
+  return dc_gain_ + evaluate_terms(terms_, t);
+}
+
+double TransferModel::unit_ramp(double t) const {
+  if (t <= 0.0) return 0.0;
+  // integral of dc_gain -> dc_gain * t;
+  // integral of k t^{m-1} e^{pt}/(m-1)!: handled for simple poles in
+  // closed form; repeated poles integrate by recurrence
+  //   I_m(t) = (t^{m-1} e^{pt}/(m-1)! - I_{m-1}(t)... ) / p
+  // with I_1 = (e^{pt} - 1)/p.
+  double value = dc_gain_ * t;
+  for (const auto& term : terms_) {
+    // Closed-form integral of t^{m-1} e^{pt}/(m-1)! from 0 to t:
+    // I_m = (f_m(t) - sum...) computed iteratively:
+    // int t^{k} e^{pt} dt = t^k e^{pt}/p - (k/p) int t^{k-1} e^{pt} dt.
+    const la::Complex p = term.pole;
+    const int m = term.power;
+    // Compute J_k = int_0^t t^k e^{pt} dt for k = 0..m-1.
+    la::Complex j_prev = (std::exp(p * t) - 1.0) / p;  // k = 0
+    la::Complex j_k = j_prev;
+    double t_pow = 1.0;
+    for (int k = 1; k < m; ++k) {
+      t_pow *= t;
+      j_k = (t_pow * std::exp(p * t) - static_cast<double>(k) * j_prev) / p;
+      j_prev = j_k;
+    }
+    double factorial = 1.0;
+    for (int i = 2; i < m; ++i) factorial *= i;
+    value += (term.residue * j_k).real() / factorial;
+  }
+  return value;
+}
+
+double TransferModel::response(const circuit::Stimulus& stimulus,
+                               double t) const {
+  // The stimulus value is initial_value + sum of breakpoint pieces; the
+  // constant pre-existing level contributes its DC response (the source
+  // has been at that level forever).
+  double v = stimulus.initial_value() * dc_gain_;
+  for (const auto& seg : stimulus.segments()) {
+    if (t < seg.time) break;
+    const double local = t - seg.time;
+    if (seg.value_jump != 0.0) v += seg.value_jump * unit_step(local);
+    if (seg.slope_change != 0.0) v += seg.slope_change * unit_ramp(local);
+  }
+  return v;
+}
+
+}  // namespace awesim::core

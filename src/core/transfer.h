@@ -1,0 +1,63 @@
+// Stimulus-independent reduced-order transfer models (macromodels).
+//
+// Engine::approximate() analyzes one concrete stimulus.  A TransferModel
+// instead reduces the path from one independent source to one output node
+// once -- q poles, q residues, and the DC gain, from the moments of the
+// unit step response -- and can then synthesize the response to *any*
+// piecewise-linear stimulus of that source in closed form, by the paper's
+// Section 4.3 superposition: each breakpoint contributes a scaled/shifted
+// copy of the unit step response (value jumps) and of its running
+// integral, the unit ramp response (slope changes).
+//
+// This is the "interconnect macromodel" usage of AWE: characterize a net
+// once, then evaluate many switching scenarios (different rise times,
+// arrival offsets) at negligible cost.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+#include "core/pade.h"
+#include "mna/system.h"
+
+namespace awesim::core {
+
+class TransferModel {
+ public:
+  /// Reduce the path from independent source `source_name` (voltage or
+  /// current source) to node `output` at order q.  Other sources are set
+  /// to zero (superposition); initial conditions do not apply (zero-state
+  /// model).  Throws std::invalid_argument for unknown source/output.
+  TransferModel(const mna::MnaSystem& mna, const std::string& source_name,
+                circuit::NodeId output, int q,
+                const MatchOptions& options = {});
+
+  /// Steady-state gain from the source to the output.
+  double dc_gain() const { return dc_gain_; }
+
+  /// Poles/residues of the unit step response transient (the response is
+  /// dc_gain + sum residues*exp(pole t)).
+  const std::vector<PoleResidueTerm>& terms() const { return terms_; }
+
+  int order_used() const { return order_used_; }
+  bool stable() const { return stable_; }
+
+  /// Response to a unit step applied at t = 0 (0 for t < 0).
+  double unit_step(double t) const;
+
+  /// Response to a unit ramp (slope 1) starting at t = 0: the running
+  /// integral of unit_step, in closed form.
+  double unit_ramp(double t) const;
+
+  /// Zero-state response to an arbitrary stimulus of the modeled source,
+  /// assembled by breakpoint superposition.
+  double response(const circuit::Stimulus& stimulus, double t) const;
+
+ private:
+  double dc_gain_ = 0.0;
+  std::vector<PoleResidueTerm> terms_;
+  int order_used_ = 0;
+  bool stable_ = true;
+};
+
+}  // namespace awesim::core

@@ -1,0 +1,266 @@
+#include "la/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace awesim::la {
+
+namespace {
+
+// Balance a matrix in place: similarity-scale rows/columns by powers of 2
+// so row and column norms are comparable.  Greatly improves the accuracy of
+// the subsequent QR iteration for badly scaled circuit matrices (element
+// values in a netlist span 1e-15 F to 1e3 Ohm).
+void balance(RealMatrix& a) {
+  const std::size_t n = a.rows();
+  constexpr double kRadix = 2.0;
+  constexpr double kRadixSq = kRadix * kRadix;
+  bool done = false;
+  while (!done) {
+    done = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      double r = 0.0;
+      double c = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        c += std::abs(a(j, i));
+        r += std::abs(a(i, j));
+      }
+      if (c == 0.0 || r == 0.0) continue;
+      double g = r / kRadix;
+      double f = 1.0;
+      const double s = c + r;
+      while (c < g) {
+        f *= kRadix;
+        c *= kRadixSq;
+      }
+      g = r * kRadix;
+      while (c > g) {
+        f /= kRadix;
+        c /= kRadixSq;
+      }
+      if ((c + r) / f < 0.95 * s) {
+        done = false;
+        const double inv_f = 1.0 / f;
+        for (std::size_t j = 0; j < n; ++j) a(i, j) *= inv_f;
+        for (std::size_t j = 0; j < n; ++j) a(j, i) *= f;
+      }
+    }
+  }
+}
+
+// Reduce to upper Hessenberg form by stabilized elementary similarity
+// transformations (Gaussian elimination with pivoting); eigenvalues are
+// preserved.
+void hessenberg(RealMatrix& a) {
+  const std::size_t n = a.rows();
+  if (n < 3) return;
+  for (std::size_t m = 1; m + 1 < n; ++m) {
+    // Find pivot in column m-1, rows m..n-1.
+    double best = 0.0;
+    std::size_t pivot = m;
+    for (std::size_t i = m; i < n; ++i) {
+      const double mag = std::abs(a(i, m - 1));
+      if (mag > best) {
+        best = mag;
+        pivot = i;
+      }
+    }
+    if (pivot != m) {
+      for (std::size_t j = m - 1; j < n; ++j) std::swap(a(pivot, j), a(m, j));
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(j, pivot), a(j, m));
+    }
+    const double x = a(m, m - 1);
+    if (x == 0.0) continue;
+    for (std::size_t i = m + 1; i < n; ++i) {
+      double y = a(i, m - 1);
+      if (y == 0.0) continue;
+      y /= x;
+      a(i, m - 1) = y;
+      for (std::size_t j = m; j < n; ++j) a(i, j) -= y * a(m, j);
+      for (std::size_t j = 0; j < n; ++j) a(j, m) += y * a(j, i);
+    }
+  }
+  // Zero out the below-subdiagonal entries (they hold multipliers).
+  for (std::size_t i = 2; i < n; ++i) {
+    for (std::size_t j = 0; j + 1 < i; ++j) a(i, j) = 0.0;
+  }
+}
+
+// Francis double-shift QR iteration on an upper Hessenberg matrix;
+// returns all eigenvalues.  This is the classical hqr algorithm.
+ComplexVector hqr(RealMatrix& a) {
+  const std::size_t size_n = a.rows();
+  ComplexVector eig;
+  eig.reserve(size_n);
+
+  double anorm = 0.0;
+  for (std::size_t i = 0; i < size_n; ++i) {
+    for (std::size_t j = (i == 0 ? 0 : i - 1); j < size_n; ++j) {
+      anorm += std::abs(a(i, j));
+    }
+  }
+  if (anorm == 0.0) {
+    eig.assign(size_n, Complex{0.0, 0.0});
+    return eig;
+  }
+
+  int nn = static_cast<int>(size_n) - 1;
+  double t = 0.0;
+  while (nn >= 0) {
+    int its = 0;
+    int l = 0;
+    do {
+      // Look for a single small subdiagonal element.
+      for (l = nn; l >= 1; --l) {
+        const double s = std::abs(a(l - 1, l - 1)) + std::abs(a(l, l));
+        const double scale_s = (s == 0.0) ? anorm : s;
+        if (std::abs(a(l, l - 1)) <= 1e-15 * scale_s) {
+          a(l, l - 1) = 0.0;
+          break;
+        }
+      }
+      double x = a(nn, nn);
+      if (l == nn) {
+        // One real root found.
+        eig.emplace_back(x + t, 0.0);
+        --nn;
+      } else {
+        double y = a(nn - 1, nn - 1);
+        double w = a(nn, nn - 1) * a(nn - 1, nn);
+        if (l == nn - 1) {
+          // Two roots found (real pair or complex conjugates).
+          double p = 0.5 * (y - x);
+          double q = p * p + w;
+          double z = std::sqrt(std::abs(q));
+          x += t;
+          if (q >= 0.0) {
+            z = p + (p >= 0.0 ? z : -z);
+            eig.emplace_back(x + z, 0.0);
+            eig.emplace_back(z != 0.0 ? x - w / z : x + z, 0.0);
+          } else {
+            eig.emplace_back(x + p, z);
+            eig.emplace_back(x + p, -z);
+          }
+          nn -= 2;
+        } else {
+          // No roots yet: QR step.
+          if (its == 30 * static_cast<int>(size_n)) {
+            throw std::runtime_error("eigenvalues: QR iteration stalled");
+          }
+          double p = 0.0, q = 0.0, z = 0.0, r = 0.0, s = 0.0;
+          if (its == 10 || its == 20) {
+            // Exceptional shift.
+            t += x;
+            for (int i = 0; i <= nn; ++i) a(i, i) -= x;
+            s = std::abs(a(nn, nn - 1)) + std::abs(a(nn - 1, nn - 2));
+            x = y = 0.75 * s;
+            w = -0.4375 * s * s;
+          }
+          ++its;
+          int m = 0;
+          for (m = nn - 2; m >= l; --m) {
+            z = a(m, m);
+            r = x - z;
+            s = y - z;
+            p = (r * s - w) / a(m + 1, m) + a(m, m + 1);
+            q = a(m + 1, m + 1) - z - r - s;
+            r = a(m + 2, m + 1);
+            s = std::abs(p) + std::abs(q) + std::abs(r);
+            p /= s;
+            q /= s;
+            r /= s;
+            if (m == l) break;
+            const double u =
+                std::abs(a(m, m - 1)) * (std::abs(q) + std::abs(r));
+            const double v =
+                std::abs(p) * (std::abs(a(m - 1, m - 1)) + std::abs(z) +
+                               std::abs(a(m + 1, m + 1)));
+            if (u <= 1e-15 * v) break;
+          }
+          for (int i = m + 2; i <= nn; ++i) {
+            a(i, i - 2) = 0.0;
+            if (i != m + 2) a(i, i - 3) = 0.0;
+          }
+          for (int k = m; k <= nn - 1; ++k) {
+            if (k != m) {
+              p = a(k, k - 1);
+              q = a(k + 1, k - 1);
+              r = (k != nn - 1) ? a(k + 2, k - 1) : 0.0;
+              x = std::abs(p) + std::abs(q) + std::abs(r);
+              if (x != 0.0) {
+                p /= x;
+                q /= x;
+                r /= x;
+              }
+            }
+            s = std::sqrt(p * p + q * q + r * r);
+            if (p < 0.0) s = -s;
+            if (s == 0.0) continue;
+            if (k == m) {
+              if (l != m) a(k, k - 1) = -a(k, k - 1);
+            } else {
+              a(k, k - 1) = -s * x;
+            }
+            p += s;
+            x = p / s;
+            y = q / s;
+            z = r / s;
+            q /= p;
+            r /= p;
+            // Row modification.
+            for (int j = k; j <= nn; ++j) {
+              p = a(k, j) + q * a(k + 1, j);
+              if (k != nn - 1) {
+                p += r * a(k + 2, j);
+                a(k + 2, j) -= p * z;
+              }
+              a(k + 1, j) -= p * y;
+              a(k, j) -= p * x;
+            }
+            const int mmin = (nn < k + 3) ? nn : k + 3;
+            // Column modification.
+            for (int i = l; i <= mmin; ++i) {
+              p = x * a(i, k) + y * a(i, k + 1);
+              if (k != nn - 1) {
+                p += z * a(i, k + 2);
+                a(i, k + 2) -= p * r;
+              }
+              a(i, k + 1) -= p * q;
+              a(i, k) -= p;
+            }
+          }
+        }
+      }
+    } while (l < nn - 1 && nn >= 0);
+  }
+  return eig;
+}
+
+}  // namespace
+
+ComplexVector eigenvalues(const RealMatrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("eigenvalues: matrix must be square");
+  }
+  if (a.rows() == 0) return {};
+  if (a.rows() == 1) return {Complex{a(0, 0), 0.0}};
+  RealMatrix work = a;
+  balance(work);
+  hessenberg(work);
+  return hqr(work);
+}
+
+ComplexVector eigenvalues_by_magnitude(const RealMatrix& a) {
+  ComplexVector eig = eigenvalues(a);
+  std::sort(eig.begin(), eig.end(), [](const Complex& x, const Complex& y) {
+    const double ax = std::abs(x);
+    const double ay = std::abs(y);
+    if (ax != ay) return ax < ay;
+    return x.imag() < y.imag();
+  });
+  return eig;
+}
+
+}  // namespace awesim::la

@@ -1,0 +1,33 @@
+// Eigenvalues of real, nonsymmetric matrices.
+//
+// Used for two jobs in AWEsim:
+//   1. the *actual* circuit poles (Tables I and II of the paper): the
+//      nonzero eigenvalues mu of the moment-generating matrix M = G^{-1}C
+//      give the natural frequencies p = -1/mu;
+//   2. roots of the AWE characteristic polynomial (eq. 25), via its
+//      companion matrix.
+//
+// The implementation is the classical dense pipeline: diagonal balancing,
+// reduction to upper Hessenberg form by stabilized elementary similarity
+// transformations, then the Francis double-shift QR iteration for the
+// eigenvalues (real or complex-conjugate pairs).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace awesim::la {
+
+/// All eigenvalues of a real square matrix, in no particular order.
+/// Complex eigenvalues appear as conjugate pairs.
+/// Throws std::runtime_error if the QR iteration fails to converge
+/// (pathological inputs only) and std::invalid_argument for non-square
+/// input.
+ComplexVector eigenvalues(const RealMatrix& a);
+
+/// Eigenvalues sorted by ascending magnitude (handy for "dominant pole
+/// first" displays once mapped through p = -1/mu).
+ComplexVector eigenvalues_by_magnitude(const RealMatrix& a);
+
+}  // namespace awesim::la

@@ -1,0 +1,208 @@
+// Dense matrix / vector types used throughout AWEsim.
+//
+// The circuits AWE targets are small-to-medium (interconnect stages of tens
+// to a few thousands of nodes), and moment generation needs exactly one LU
+// factorization followed by repeated substitutions, so a straightforward
+// dense row-major matrix is the right substrate: simple, cache-friendly at
+// these sizes, and trivially correct.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace awesim::la {
+
+using Complex = std::complex<double>;
+
+/// Dense, row-major matrix over scalar T (double or std::complex<double>).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  /// Build from nested initializer lists: Matrix<double>{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ == 0 ? 0 : init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      if (row.size() != cols_) {
+        throw std::invalid_argument("Matrix: ragged initializer list");
+      }
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row pointer (row-major storage); valid for cols() elements.
+  T* row(std::size_t r) { return data_.data() + r * cols_; }
+  const T* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  Matrix& operator+=(const Matrix& rhs) {
+    check_same_shape(rhs);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& rhs) {
+    check_same_shape(rhs);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+    return *this;
+  }
+  Matrix& operator*=(T s) {
+    for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, T s) { return a *= s; }
+  friend Matrix operator*(T s, Matrix a) { return a *= s; }
+
+  /// Matrix product; O(n^3) triple loop, adequate at AWE problem sizes.
+  friend Matrix operator*(const Matrix& a, const Matrix& b) {
+    if (a.cols() != b.rows()) {
+      throw std::invalid_argument("Matrix product: dimension mismatch");
+    }
+    Matrix c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const T aik = a(i, k);
+        if (aik == T{}) continue;
+        const T* brow = b.row(k);
+        T* crow = c.row(i);
+        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+      }
+    }
+    return c;
+  }
+
+  /// Matrix-vector product.
+  friend std::vector<T> operator*(const Matrix& a, const std::vector<T>& x) {
+    if (a.cols() != x.size()) {
+      throw std::invalid_argument("Matrix-vector product: dimension mismatch");
+    }
+    std::vector<T> y(a.rows(), T{});
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const T* arow = a.row(i);
+      T acc{};
+      for (std::size_t j = 0; j < a.cols(); ++j) acc += arow[j] * x[j];
+      y[i] = acc;
+    }
+    return y;
+  }
+
+  Matrix transpose() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+  /// Maximum absolute row sum (induced infinity norm).
+  double norm_inf() const {
+    double best = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < cols_; ++j) s += std::abs((*this)(i, j));
+      best = std::max(best, s);
+    }
+    return best;
+  }
+
+  /// Frobenius norm.
+  double norm_fro() const {
+    double s = 0.0;
+    for (const auto& v : data_) s += std::norm(Complex(v));
+    return std::sqrt(s);
+  }
+
+  bool operator==(const Matrix& rhs) const {
+    return rows_ == rhs.rows_ && cols_ == rhs.cols_ && data_ == rhs.data_;
+  }
+
+ private:
+  void check_same_shape(const Matrix& rhs) const {
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+      throw std::invalid_argument("Matrix: shape mismatch");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using RealMatrix = Matrix<double>;
+using ComplexMatrix = Matrix<Complex>;
+using RealVector = std::vector<double>;
+using ComplexVector = std::vector<Complex>;
+
+/// Euclidean norm of a vector.
+template <typename T>
+double norm2(const std::vector<T>& v) {
+  double s = 0.0;
+  for (const auto& x : v) s += std::norm(Complex(x));
+  return std::sqrt(s);
+}
+
+/// Infinity norm of a vector.
+template <typename T>
+double norm_inf(const std::vector<T>& v) {
+  double best = 0.0;
+  for (const auto& x : v) best = std::max(best, std::abs(x));
+  return best;
+}
+
+/// a - b, elementwise.
+template <typename T>
+std::vector<T> subtract(const std::vector<T>& a, const std::vector<T>& b) {
+  assert(a.size() == b.size());
+  std::vector<T> r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+/// a + b, elementwise.
+template <typename T>
+std::vector<T> add(const std::vector<T>& a, const std::vector<T>& b) {
+  assert(a.size() == b.size());
+  std::vector<T> r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+/// s * v, elementwise.
+template <typename T, typename S>
+std::vector<T> scale(S s, std::vector<T> v) {
+  for (auto& x : v) x *= s;
+  return v;
+}
+
+}  // namespace awesim::la

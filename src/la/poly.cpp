@@ -1,0 +1,145 @@
+#include "la/poly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/eig.h"
+
+namespace awesim::la {
+
+Complex polyval(const RealVector& coeffs, Complex x) {
+  Complex acc{0.0, 0.0};
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = acc * x + coeffs[i];
+  }
+  return acc;
+}
+
+RealVector polyder(const RealVector& coeffs) {
+  if (coeffs.size() <= 1) return {0.0};
+  RealVector d(coeffs.size() - 1);
+  for (std::size_t k = 1; k < coeffs.size(); ++k) {
+    d[k - 1] = static_cast<double>(k) * coeffs[k];
+  }
+  return d;
+}
+
+namespace {
+
+// A couple of Newton iterations per root; the companion-matrix values are
+// already close, this just removes the O(eps*cond) fuzz.
+Complex polish_root(const RealVector& coeffs, const RealVector& deriv,
+                    Complex x) {
+  double best_f = std::abs(polyval(coeffs, x));
+  for (int it = 0; it < 8; ++it) {
+    const Complex df = polyval(deriv, x);
+    if (std::abs(df) == 0.0) break;
+    const Complex step = polyval(coeffs, x) / df;
+    // Near a multiple root both f and f' drown in rounding noise and the
+    // quotient can be wild; accept a step only if it is modest and it
+    // actually reduces |f|.
+    if (std::abs(step) > 0.1 * (1.0 + std::abs(x))) break;
+    const Complex candidate = x - step;
+    const double f_candidate = std::abs(polyval(coeffs, candidate));
+    if (f_candidate > best_f) break;
+    x = candidate;
+    best_f = f_candidate;
+    if (std::abs(step) <= 1e-15 * std::abs(x)) break;
+  }
+  return x;
+}
+
+}  // namespace
+
+ComplexVector polyroots(const RealVector& coeffs_in) {
+  RealVector coeffs = coeffs_in;
+  // Trim (numerically) zero leading coefficients.
+  double maxc = 0.0;
+  for (double c : coeffs) maxc = std::max(maxc, std::abs(c));
+  if (coeffs.empty() || maxc == 0.0) {
+    throw std::invalid_argument("polyroots: zero polynomial");
+  }
+  while (coeffs.size() > 1 && std::abs(coeffs.back()) <= 1e-14 * maxc) {
+    coeffs.pop_back();
+  }
+  // Deflate exact zero roots (trailing zero constant coefficients).
+  ComplexVector roots;
+  std::size_t first_nonzero = 0;
+  while (first_nonzero < coeffs.size() && coeffs[first_nonzero] == 0.0) {
+    ++first_nonzero;
+  }
+  for (std::size_t i = 0; i < first_nonzero; ++i) roots.emplace_back(0.0, 0.0);
+  coeffs.erase(coeffs.begin(),
+               coeffs.begin() + static_cast<std::ptrdiff_t>(first_nonzero));
+
+  const std::size_t degree = coeffs.size() - 1;
+  if (degree == 0) return roots;
+  if (degree == 1) {
+    roots.emplace_back(-coeffs[0] / coeffs[1], 0.0);
+    return roots;
+  }
+  if (degree == 2) {
+    // Numerically stable quadratic formula.
+    const double a = coeffs[2];
+    const double b = coeffs[1];
+    const double c = coeffs[0];
+    const double disc = b * b - 4.0 * a * c;
+    if (disc >= 0.0) {
+      const double sq = std::sqrt(disc);
+      const double q = -0.5 * (b + (b >= 0.0 ? sq : -sq));
+      const Complex r1{q / a, 0.0};
+      const Complex r2{q != 0.0 ? c / q : 0.0, 0.0};
+      roots.push_back(r1);
+      roots.push_back(r2);
+    } else {
+      const double re = -b / (2.0 * a);
+      const double im = std::sqrt(-disc) / (2.0 * a);
+      roots.emplace_back(re, im);
+      roots.emplace_back(re, -im);
+    }
+    return roots;
+  }
+
+  // Companion matrix of the monic polynomial.
+  RealMatrix comp(degree, degree);
+  const double lead = coeffs[degree];
+  for (std::size_t i = 0; i + 1 < degree; ++i) comp(i + 1, i) = 1.0;
+  for (std::size_t i = 0; i < degree; ++i) {
+    comp(i, degree - 1) = -coeffs[i] / lead;
+  }
+  ComplexVector eig = eigenvalues(comp);
+
+  const RealVector deriv = polyder(coeffs);
+  for (Complex& r : eig) {
+    r = polish_root(coeffs, deriv, r);
+    // Snap nearly-real roots of the real polynomial onto the real axis.
+    if (std::abs(r.imag()) <= 1e-9 * std::max(1.0, std::abs(r.real()))) {
+      const Complex real_r{r.real(), 0.0};
+      if (std::abs(polyval(coeffs, real_r)) <=
+          4.0 * std::abs(polyval(coeffs, r)) + 1e-300) {
+        r = real_r;
+      }
+    }
+    roots.push_back(r);
+  }
+  return roots;
+}
+
+RealVector poly_from_roots(const ComplexVector& roots) {
+  // Ascending coefficients; repeatedly multiply by (x - r).
+  ComplexVector c{Complex{1.0, 0.0}};
+  for (const Complex& r : roots) {
+    c.emplace_back(0.0, 0.0);
+    for (std::size_t i = c.size() - 1; i >= 1; --i) {
+      c[i] = c[i - 1] - r * c[i];
+    }
+    c[0] = -r * c[0];
+  }
+  // Imaginary parts cancel for conjugate-closed root sets.
+  RealVector out(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) out[i] = c[i].real();
+  return out;
+}
+
+}  // namespace awesim::la

@@ -1,0 +1,35 @@
+// Real-coefficient polynomial utilities.
+//
+// AWE needs the roots of the characteristic polynomial (eq. 25)
+//   a0 + a1*x + ... + a_{q-1}*x^{q-1} + x^q = 0,
+// whose roots are the *reciprocals* of the approximating poles.  Orders are
+// small (q <= ~8 in practice), so we use the companion-matrix eigenvalue
+// route, followed by a few Newton polish steps on each root for full
+// accuracy.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace awesim::la {
+
+/// Value of the polynomial sum_k coeffs[k] * x^k at complex x (Horner).
+Complex polyval(const RealVector& coeffs, Complex x);
+
+/// Derivative coefficients of sum_k coeffs[k] * x^k.
+RealVector polyder(const RealVector& coeffs);
+
+/// All complex roots of sum_k coeffs[k] * x^k.
+/// Leading zero coefficients are trimmed; exact zero roots from trailing
+/// zero coefficients are deflated analytically.  Throws
+/// std::invalid_argument for the zero polynomial or an empty coefficient
+/// vector.
+ComplexVector polyroots(const RealVector& coeffs);
+
+/// Monic polynomial with the given roots; conjugate pairs must both be
+/// present so that the product has (numerically) real coefficients.
+/// Returns coefficients c with c.back() == 1.
+RealVector poly_from_roots(const ComplexVector& roots);
+
+}  // namespace awesim::la

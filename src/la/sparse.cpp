@@ -1,0 +1,337 @@
+#include "la/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace awesim::la {
+
+SparseMatrix SparseMatrix::from_triplets(
+    std::size_t rows, std::size_t cols,
+    const std::vector<Triplet>& triplets) {
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  // Count entries per column, prefix-sum, scatter, then compress
+  // duplicates within each column.
+  std::vector<std::size_t> count(cols, 0);
+  for (const auto& t : triplets) {
+    if (t.row >= rows || t.col >= cols) {
+      throw std::invalid_argument("SparseMatrix: triplet out of range");
+    }
+    ++count[t.col];
+  }
+  m.col_start_.assign(cols + 1, 0);
+  for (std::size_t j = 0; j < cols; ++j) {
+    m.col_start_[j + 1] = m.col_start_[j] + count[j];
+  }
+  m.row_index_.resize(triplets.size());
+  m.values_.resize(triplets.size());
+  std::vector<std::size_t> next(m.col_start_.begin(),
+                                m.col_start_.end() - 1);
+  for (const auto& t : triplets) {
+    const std::size_t k = next[t.col]++;
+    m.row_index_[k] = t.row;
+    m.values_[k] = t.value;
+  }
+  // Sort each column by row and sum duplicates.
+  std::vector<std::size_t> new_start(cols + 1, 0);
+  std::vector<std::size_t> out_index;
+  std::vector<double> out_values;
+  out_index.reserve(triplets.size());
+  out_values.reserve(triplets.size());
+  std::vector<std::pair<std::size_t, double>> column;
+  for (std::size_t j = 0; j < cols; ++j) {
+    column.clear();
+    for (std::size_t k = m.col_start_[j]; k < m.col_start_[j + 1]; ++k) {
+      column.emplace_back(m.row_index_[k], m.values_[k]);
+    }
+    std::sort(column.begin(), column.end());
+    for (std::size_t k = 0; k < column.size(); ++k) {
+      if (!out_index.empty() &&
+          out_index.size() > new_start[j] &&
+          out_index.back() == column[k].first) {
+        out_values.back() += column[k].second;
+      } else {
+        out_index.push_back(column[k].first);
+        out_values.push_back(column[k].second);
+      }
+    }
+    new_start[j + 1] = out_index.size();
+  }
+  m.col_start_ = std::move(new_start);
+  m.row_index_ = std::move(out_index);
+  m.values_ = std::move(out_values);
+  return m;
+}
+
+RealVector SparseMatrix::apply(const RealVector& x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("SparseMatrix::apply: size mismatch");
+  }
+  RealVector y(rows_, 0.0);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+      y[row_index_[k]] += values_[k] * xj;
+    }
+  }
+  return y;
+}
+
+RealVector SparseMatrix::apply_transposed(const RealVector& x) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument(
+        "SparseMatrix::apply_transposed: size mismatch");
+  }
+  RealVector y(cols_, 0.0);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    double acc = 0.0;
+    for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+      acc += values_[k] * x[row_index_[k]];
+    }
+    y[j] = acc;
+  }
+  return y;
+}
+
+RealMatrix SparseMatrix::to_dense() const {
+  RealMatrix d(rows_, cols_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+      d(row_index_[k], j) += values_[k];
+    }
+  }
+  return d;
+}
+
+std::vector<std::size_t> reverse_cuthill_mckee(const SparseMatrix& a) {
+  const std::size_t n = a.cols();
+  // Symmetrized adjacency (pattern of A + A^T, diagonal ignored).
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = a.col_start()[j]; k < a.col_start()[j + 1]; ++k) {
+      const std::size_t i = a.row_index()[k];
+      if (i == j || i >= n) continue;
+      adj[i].push_back(j);
+      adj[j].push_back(i);
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  // Process every connected component, starting each BFS from a
+  // minimum-degree vertex (a good pseudo-peripheral approximation here).
+  std::vector<std::size_t> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), std::size_t{0});
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](std::size_t x, std::size_t y) {
+              return adj[x].size() < adj[y].size();
+            });
+  for (const std::size_t start : by_degree) {
+    if (visited[start]) continue;
+    std::queue<std::size_t> frontier;
+    frontier.push(start);
+    visited[start] = true;
+    while (!frontier.empty()) {
+      const std::size_t v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      // Enqueue unvisited neighbours in increasing-degree order.
+      std::vector<std::size_t> next;
+      for (const std::size_t w : adj[v]) {
+        if (!visited[w]) {
+          visited[w] = true;
+          next.push_back(w);
+        }
+      }
+      std::sort(next.begin(), next.end(),
+                [&](std::size_t x, std::size_t y) {
+                  return adj[x].size() < adj[y].size();
+                });
+      for (const std::size_t w : next) frontier.push(w);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+SparseLu::SparseLu(const SparseMatrix& a, Ordering ordering) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("SparseLu: matrix must be square");
+  }
+  n_ = a.rows();
+  col_perm_ = (ordering == Ordering::ReverseCuthillMcKee)
+                  ? reverse_cuthill_mckee(a)
+                  : [&] {
+                      std::vector<std::size_t> q(n_);
+                      std::iota(q.begin(), q.end(), std::size_t{0});
+                      return q;
+                    }();
+
+  constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  row_perm_.assign(n_, kUnassigned);  // original row -> pivot position
+
+  l_start_.assign(n_ + 1, 0);
+  u_start_.assign(n_ + 1, 0);
+
+  // Workspaces for the per-column sparse triangular solve.
+  RealVector x(n_, 0.0);
+  std::vector<std::size_t> pattern;   // post-ordered nonzero rows
+  std::vector<int> mark(n_, -1);      // visit stamps
+  std::vector<std::size_t> stack;
+  std::vector<std::size_t> cursor(n_, 0);  // per-node edge cursor
+
+  for (std::size_t col = 0; col < n_; ++col) {
+    const std::size_t j = col_perm_[col];
+
+    // --- Symbolic: nonzero pattern of x = L \ A(:, j) by depth-first
+    // search from the rows of A(:, j) through the directed graph of the
+    // already-computed L columns.  Post-order emits dependents before
+    // their dependencies; the numeric pass walks it in reverse.
+    pattern.clear();
+    const int stamp = static_cast<int>(col);
+    for (std::size_t k = a.col_start()[j]; k < a.col_start()[j + 1]; ++k) {
+      const std::size_t root = a.row_index()[k];
+      if (mark[root] == stamp) continue;
+      stack.assign(1, root);
+      mark[root] = stamp;
+      cursor[root] = 0;
+      while (!stack.empty()) {
+        const std::size_t v = stack.back();
+        const std::size_t pos = row_perm_[v];
+        bool descended = false;
+        if (pos != kUnassigned) {
+          // Resume scanning v's outgoing edges (the rows L(:, pos)
+          // updates) from the stored cursor.
+          for (std::size_t p = l_start_[pos] + cursor[v];
+               p < l_start_[pos + 1]; ++p) {
+            const std::size_t w = l_index_[p];
+            cursor[v] = p + 1 - l_start_[pos];
+            if (mark[w] != stamp) {
+              mark[w] = stamp;
+              cursor[w] = 0;
+              stack.push_back(w);
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (!descended) {
+          stack.pop_back();
+          pattern.push_back(v);
+        }
+      }
+    }
+
+    // --- Numeric: scatter A(:, j), then eliminate in topological order.
+    for (std::size_t k = a.col_start()[j]; k < a.col_start()[j + 1]; ++k) {
+      x[a.row_index()[k]] += a.values()[k];
+    }
+    // Process in reverse of the collected order so that dependencies
+    // (deeper eliminated columns) are applied before dependents.
+    for (auto it = pattern.rbegin(); it != pattern.rend(); ++it) {
+      const std::size_t v = *it;
+      const std::size_t pos = row_perm_[v];
+      if (pos == kUnassigned) continue;
+      const double xv = x[v];
+      if (xv == 0.0) continue;
+      for (std::size_t p = l_start_[pos]; p < l_start_[pos + 1]; ++p) {
+        x[l_index_[p]] -= l_values_[p] * xv;
+      }
+    }
+
+    // --- Pivot: largest magnitude among not-yet-eliminated rows.
+    std::size_t pivot_row = kUnassigned;
+    double pivot_mag = 0.0;
+    for (const std::size_t v : pattern) {
+      if (row_perm_[v] != kUnassigned) continue;
+      const double mag = std::abs(x[v]);
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = v;
+      }
+    }
+    if (pivot_row == kUnassigned || pivot_mag <= 1e-300) {
+      throw SingularMatrixError(col);
+    }
+    const double pivot = x[pivot_row];
+    row_perm_[pivot_row] = col;
+
+    // --- Store U(:, col) (eliminated rows) and L(:, col) (the rest,
+    // scaled by the pivot).  Clear the workspace as we go.
+    for (const std::size_t v : pattern) {
+      const double xv = x[v];
+      x[v] = 0.0;
+      if (xv == 0.0) continue;
+      const std::size_t pos = row_perm_[v];
+      if (v == pivot_row) continue;  // handled below
+      if (pos != kUnassigned && pos < col) {
+        u_index_.push_back(pos);
+        u_values_.push_back(xv);
+      } else {
+        l_index_.push_back(v);
+        l_values_.push_back(xv / pivot);
+      }
+    }
+    // Diagonal of U last in the column (so back-substitution can read it
+    // directly at the column end).
+    u_index_.push_back(col);
+    u_values_.push_back(pivot);
+    x[pivot_row] = 0.0;
+    l_start_[col + 1] = l_values_.size();
+    u_start_[col + 1] = u_values_.size();
+  }
+}
+
+RealVector SparseLu::solve(const RealVector& b) const {
+  if (b.size() != n_) {
+    throw std::invalid_argument("SparseLu::solve: rhs size mismatch");
+  }
+  // Forward: y in pivot order; L is unit lower (by construction the
+  // stored l entries are original-row indexed).
+  // Forward solve in pivot order with eager (right-looking) updates on a
+  // working copy of b indexed by original rows.
+  RealVector y(n_, 0.0);
+  RealVector work(b);
+  std::vector<std::size_t> pos_to_row(n_);
+  for (std::size_t r = 0; r < n_; ++r) pos_to_row[row_perm_[r]] = r;
+
+  for (std::size_t c = 0; c < n_; ++c) {
+    const double yc = work[pos_to_row[c]];
+    y[c] = yc;
+    if (yc == 0.0) continue;
+    for (std::size_t p = l_start_[c]; p < l_start_[c + 1]; ++p) {
+      work[l_index_[p]] -= l_values_[p] * yc;
+    }
+  }
+
+  // Backward: U z = y, U stored by columns with the diagonal last.
+  RealVector z(n_, 0.0);
+  for (std::size_t cc = n_; cc-- > 0;) {
+    const std::size_t begin = u_start_[cc];
+    const std::size_t end = u_start_[cc + 1];
+    const double diag = u_values_[end - 1];
+    const double zc = y[cc] / diag;
+    z[cc] = zc;
+    if (zc == 0.0) continue;
+    for (std::size_t p = begin; p + 1 < end; ++p) {
+      y[u_index_[p]] -= u_values_[p] * zc;
+    }
+  }
+
+  // Un-permute columns: x[col_perm_[c]] = z[c].
+  RealVector x(n_, 0.0);
+  for (std::size_t c = 0; c < n_; ++c) x[col_perm_[c]] = z[c];
+  return x;
+}
+
+}  // namespace awesim::la

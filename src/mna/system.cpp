@@ -1,0 +1,330 @@
+#include "mna/system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace awesim::mna {
+
+using circuit::Element;
+using circuit::ElementKind;
+using circuit::kGround;
+
+namespace {
+
+// Times closer than this (relative to the overall stimulus span) are merged
+// into one event.
+constexpr double kEventMergeTolerance = 1e-15;
+
+}  // namespace
+
+MnaSystem::MnaSystem(const circuit::Circuit& ckt, Options options)
+    : ckt_(&ckt), options_(options) {
+  ckt.validate();
+  stamp(ckt);
+  build_events(ckt);
+}
+
+std::size_t MnaSystem::node_index(circuit::NodeId node) const {
+  if (node == kGround) {
+    throw std::invalid_argument("MnaSystem: ground has no unknown");
+  }
+  return static_cast<std::size_t>(node) - 1;
+}
+
+std::optional<std::size_t> MnaSystem::branch_index(
+    std::string_view element) const {
+  for (const auto& [name, idx] : branch_indices_) {
+    if (name == element) return idx;
+  }
+  return std::nullopt;
+}
+
+void MnaSystem::stamp(const circuit::Circuit& ckt) {
+  const std::size_t num_nodes = ckt.node_count() - 1;  // ground eliminated
+
+  // First pass: assign branch-current unknowns.
+  std::size_t next_branch = num_nodes;
+  for (const auto& e : ckt.elements()) {
+    switch (e.kind) {
+      case ElementKind::VoltageSource:
+      case ElementKind::Inductor:
+      case ElementKind::Vcvs:
+      case ElementKind::Ccvs:
+        branch_indices_.emplace_back(e.name, next_branch++);
+        break;
+      default:
+        break;
+    }
+  }
+  dim_ = next_branch;
+  rhs_initial_.assign(dim_, 0.0);
+
+  // Row/column index of a node, or nullopt for ground.
+  auto idx = [&](circuit::NodeId node) -> std::optional<std::size_t> {
+    if (node == kGround) return std::nullopt;
+    return node_index(node);
+  };
+  auto stamp_pair = [&](std::vector<la::Triplet>& m, circuit::NodeId a,
+                        circuit::NodeId b, double v) {
+    const auto ia = idx(a);
+    const auto ib = idx(b);
+    if (ia) m.push_back({*ia, *ia, v});
+    if (ib) m.push_back({*ib, *ib, v});
+    if (ia && ib) {
+      m.push_back({*ia, *ib, -v});
+      m.push_back({*ib, *ia, -v});
+    }
+  };
+  auto branch_of = [&](std::string_view name) -> std::size_t {
+    const auto b = branch_index(name);
+    if (!b) {
+      throw std::invalid_argument("MnaSystem: no branch current for '" +
+                                  std::string(name) + "'");
+    }
+    return *b;
+  };
+  auto stamp_branch_voltage = [&](std::size_t br, circuit::NodeId pos,
+                                  circuit::NodeId neg) {
+    const auto ip = idx(pos);
+    const auto in = idx(neg);
+    if (ip) {
+      g_triplets_.push_back({*ip, br, 1.0});
+      g_triplets_.push_back({br, *ip, 1.0});
+    }
+    if (in) {
+      g_triplets_.push_back({*in, br, -1.0});
+      g_triplets_.push_back({br, *in, -1.0});
+    }
+  };
+
+  for (const auto& e : ckt.elements()) {
+    switch (e.kind) {
+      case ElementKind::Resistor:
+        stamp_pair(g_triplets_, e.pos, e.neg, 1.0 / e.value);
+        break;
+      case ElementKind::Capacitor:
+        stamp_pair(c_triplets_, e.pos, e.neg, e.value);
+        break;
+      case ElementKind::Inductor: {
+        const std::size_t br = branch_of(e.name);
+        stamp_branch_voltage(br, e.pos, e.neg);
+        c_triplets_.push_back({br, br, -e.value});
+        break;
+      }
+      case ElementKind::VoltageSource: {
+        const std::size_t br = branch_of(e.name);
+        stamp_branch_voltage(br, e.pos, e.neg);
+        rhs_initial_[br] += e.stimulus.initial_value();
+        break;
+      }
+      case ElementKind::CurrentSource: {
+        // Positive stimulus current flows from pos through the source to
+        // neg (SPICE convention).
+        const auto ip = idx(e.pos);
+        const auto in = idx(e.neg);
+        const double i0 = e.stimulus.initial_value();
+        if (ip) rhs_initial_[*ip] -= i0;
+        if (in) rhs_initial_[*in] += i0;
+        break;
+      }
+      case ElementKind::Vcvs: {
+        const std::size_t br = branch_of(e.name);
+        stamp_branch_voltage(br, e.pos, e.neg);
+        const auto icp = idx(e.ctrl_pos);
+        const auto icn = idx(e.ctrl_neg);
+        if (icp) g_triplets_.push_back({br, *icp, -e.value});
+        if (icn) g_triplets_.push_back({br, *icn, e.value});
+        break;
+      }
+      case ElementKind::Vccs: {
+        const auto ip = idx(e.pos);
+        const auto in = idx(e.neg);
+        const auto icp = idx(e.ctrl_pos);
+        const auto icn = idx(e.ctrl_neg);
+        if (ip && icp) g_triplets_.push_back({*ip, *icp, e.value});
+        if (ip && icn) g_triplets_.push_back({*ip, *icn, -e.value});
+        if (in && icp) g_triplets_.push_back({*in, *icp, -e.value});
+        if (in && icn) g_triplets_.push_back({*in, *icn, e.value});
+        break;
+      }
+      case ElementKind::Cccs: {
+        const std::size_t ctrl = branch_of(e.ctrl_source);
+        const auto ip = idx(e.pos);
+        const auto in = idx(e.neg);
+        if (ip) g_triplets_.push_back({*ip, ctrl, e.value});
+        if (in) g_triplets_.push_back({*in, ctrl, -e.value});
+        break;
+      }
+      case ElementKind::Ccvs: {
+        const std::size_t br = branch_of(e.name);
+        const std::size_t ctrl = branch_of(e.ctrl_source);
+        stamp_branch_voltage(br, e.pos, e.neg);
+        g_triplets_.push_back({br, ctrl, -e.value});
+        break;
+      }
+    }
+  }
+  g_sparse_ = la::SparseMatrix::from_triplets(dim_, dim_, g_triplets_);
+  c_sparse_ = la::SparseMatrix::from_triplets(dim_, dim_, c_triplets_);
+}
+
+const la::RealMatrix& MnaSystem::G() const {
+  if (!g_dense_) g_dense_ = g_sparse_.to_dense();
+  return *g_dense_;
+}
+
+const la::RealMatrix& MnaSystem::C() const {
+  if (!c_dense_) c_dense_ = c_sparse_.to_dense();
+  return *c_dense_;
+}
+
+void MnaSystem::build_events(const circuit::Circuit& ckt) {
+  // Merge the per-source breakpoints into global events keyed by time.
+  std::map<double, SourceEvent> merged;
+  auto event_at = [&](double t) -> SourceEvent& {
+    for (auto& [time, ev] : merged) {
+      if (std::abs(time - t) <=
+          kEventMergeTolerance * std::max(1.0, std::abs(time))) {
+        return ev;
+      }
+    }
+    SourceEvent ev;
+    ev.time = t;
+    ev.value_jump.assign(dim(), 0.0);
+    ev.slope_change.assign(dim(), 0.0);
+    return merged.emplace(t, std::move(ev)).first->second;
+  };
+
+  for (const auto& e : ckt.elements()) {
+    if (e.kind != ElementKind::VoltageSource &&
+        e.kind != ElementKind::CurrentSource) {
+      continue;
+    }
+    for (const auto& seg : e.stimulus.segments()) {
+      SourceEvent& ev = event_at(seg.time);
+      if (e.kind == ElementKind::VoltageSource) {
+        const std::size_t br = *branch_index(e.name);
+        ev.value_jump[br] += seg.value_jump;
+        ev.slope_change[br] += seg.slope_change;
+      } else {
+        if (e.pos != kGround) {
+          ev.value_jump[node_index(e.pos)] -= seg.value_jump;
+          ev.slope_change[node_index(e.pos)] -= seg.slope_change;
+        }
+        if (e.neg != kGround) {
+          ev.value_jump[node_index(e.neg)] += seg.value_jump;
+          ev.slope_change[node_index(e.neg)] += seg.slope_change;
+        }
+      }
+    }
+  }
+  events_.clear();
+  events_.reserve(merged.size());
+  for (auto& [time, ev] : merged) events_.push_back(std::move(ev));
+}
+
+const la::RealVector& MnaSystem::initial_state() const {
+  if (x0_built_) return x0_;
+  // Start from the equilibrium the circuit sat at for t < 0 (all sources
+  // at their initial values), then apply explicit overrides.
+  x0_ = solve(rhs_initial_);
+  for (const auto& [node, volts] : ckt_->initial_node_voltages()) {
+    x0_[node_index(node)] = volts;
+  }
+  for (const auto& e : ckt_->elements()) {
+    if (e.kind == ElementKind::Capacitor && e.initial_condition) {
+      // v(pos) = v(neg) + IC; the neg-side voltage is whatever has been
+      // established so far (ground = 0).
+      const double vneg = e.neg == kGround ? 0.0 : x0_[node_index(e.neg)];
+      if (e.pos != kGround) {
+        x0_[node_index(e.pos)] = vneg + *e.initial_condition;
+      }
+    }
+    if (e.kind == ElementKind::Inductor && e.initial_condition) {
+      x0_[*branch_index(e.name)] = *e.initial_condition;
+    }
+  }
+  x0_built_ = true;
+  return x0_;
+}
+
+Solver MnaSystem::factor(double shift) const {
+  // Assemble (G + shift*C) triplets, optionally with the gmin retry.
+  auto assemble = [&](double gmin) {
+    std::vector<la::Triplet> t = g_triplets_;
+    t.reserve(t.size() + c_triplets_.size() + dim_);
+    for (const auto& trip : c_triplets_) {
+      t.push_back({trip.row, trip.col, shift * trip.value});
+    }
+    if (gmin > 0.0) {
+      const std::size_t num_nodes = ckt_->node_count() - 1;
+      for (std::size_t i = 0; i < num_nodes; ++i) {
+        t.push_back({i, i, gmin});
+      }
+    }
+    return la::SparseMatrix::from_triplets(dim_, dim_, t);
+  };
+
+  auto build = [&](double gmin) -> Solver {
+    const la::SparseMatrix m = assemble(gmin);
+    if (uses_sparse()) {
+      return Solver(la::SparseLu(m));
+    }
+    return Solver(la::Lu<double>(m.to_dense()));
+  };
+
+  try {
+    return build(0.0);
+  } catch (const la::SingularMatrixError&) {
+    if (options_.gmin <= 0.0) throw;
+    // Floating nodes: add gmin from every node to ground and retry.  This
+    // realizes the paper's observation that isolated (capacitor-only)
+    // nodes need the charge-conservation equation for a steady state; a
+    // tiny leak resolves the indeterminacy while leaving the time range
+    // of interest unaffected.
+    Solver s = build(options_.gmin);
+    used_gmin_ = true;
+    return s;
+  }
+}
+
+la::RealVector MnaSystem::solve(const la::RealVector& rhs) const {
+  if (!g_solver_) {
+    g_solver_ = std::make_unique<Solver>(factor(0.0));
+  }
+  return g_solver_->solve(rhs);
+}
+
+const Solver& MnaSystem::shifted(double a) const {
+  auto it = shifted_.find(a);
+  if (it == shifted_.end()) {
+    it = shifted_.emplace(a, std::make_unique<Solver>(factor(a))).first;
+  }
+  return *it->second;
+}
+
+bool MnaSystem::used_gmin() const {
+  if (!g_solver_) {
+    g_solver_ = std::make_unique<Solver>(factor(0.0));
+  }
+  return used_gmin_;
+}
+
+la::RealVector MnaSystem::rhs_at(double t) const {
+  la::RealVector b = rhs_initial_;
+  for (const auto& ev : events_) {
+    if (t < ev.time) break;
+    const double dt = t - ev.time;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] += ev.value_jump[i] + ev.slope_change[i] * dt;
+    }
+  }
+  return b;
+}
+
+la::RealVector MnaSystem::apply_C(const la::RealVector& x) const {
+  return c_sparse_.apply(x);
+}
+
+}  // namespace awesim::mna

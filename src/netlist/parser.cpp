@@ -1,0 +1,507 @@
+#include "netlist/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace awesim::netlist {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+// Split a card into tokens; parentheses and commas act as separators but
+// '(' after a keyword keeps function-style groups recognizable by the
+// caller, so we simply treat '(', ')' and ',' as whitespace and rely on
+// the leading keyword (STEP/PWL/DC) to interpret the numbers.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+        c == ')' || c == ',') {
+      if (!cur.empty()) {
+        tokens.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(cur);
+  return tokens;
+}
+
+bool is_number(std::string_view token) {
+  if (token.empty()) return false;
+  const char c = token.front();
+  return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+         c == '+' || c == '.';
+}
+
+}  // namespace
+
+double parse_value(std::string_view token) {
+  if (token.empty()) {
+    throw std::invalid_argument("parse_value: empty token");
+  }
+  std::size_t pos = 0;
+  double base = 0.0;
+  const std::string str(token);
+  try {
+    base = std::stod(str, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_value: not a number: '" + str + "'");
+  }
+  std::string suffix = to_lower(str.substr(pos));
+  // SPICE ignores trailing unit letters after the scale suffix ("pF").
+  double scale = 1.0;
+  if (suffix.rfind("meg", 0) == 0) {
+    scale = 1e6;
+  } else if (!suffix.empty()) {
+    switch (suffix.front()) {
+      case 'f': scale = 1e-15; break;
+      case 'p': scale = 1e-12; break;
+      case 'n': scale = 1e-9; break;
+      case 'u': scale = 1e-6; break;
+      case 'm': scale = 1e-3; break;
+      case 'k': scale = 1e3; break;
+      case 'g': scale = 1e9; break;
+      case 't': scale = 1e12; break;
+      default:
+        throw std::invalid_argument("parse_value: bad suffix in '" + str +
+                                    "'");
+    }
+  }
+  return base * scale;
+}
+
+namespace {
+
+// Parse the stimulus part of a V/I card starting at tokens[start].
+circuit::Stimulus parse_stimulus(const std::vector<std::string>& tokens,
+                                 std::size_t start, std::size_t line) {
+  if (start >= tokens.size()) {
+    throw ParseError(line, "missing source value");
+  }
+  const std::string kind = to_lower(tokens[start]);
+  auto num = [&](std::size_t i) -> double {
+    if (i >= tokens.size()) {
+      throw ParseError(line, "missing numeric argument");
+    }
+    try {
+      return parse_value(tokens[i]);
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(line, e.what());
+    }
+  };
+  if (kind == "dc") {
+    return circuit::Stimulus::dc(num(start + 1));
+  }
+  if (kind == "step") {
+    const double v0 = num(start + 1);
+    const double v1 = num(start + 2);
+    const double delay =
+        start + 3 < tokens.size() ? num(start + 3) : 0.0;
+    const double rise = start + 4 < tokens.size() ? num(start + 4) : 0.0;
+    return rise > 0.0
+               ? circuit::Stimulus::ramp_step(v0, v1, rise, delay)
+               : circuit::Stimulus::step(v0, v1, delay);
+  }
+  if (kind == "pwl") {
+    std::vector<std::pair<double, double>> points;
+    for (std::size_t i = start + 1; i + 1 < tokens.size(); i += 2) {
+      points.emplace_back(num(i), num(i + 1));
+    }
+    if (points.empty()) throw ParseError(line, "PWL needs points");
+    try {
+      return circuit::Stimulus::pwl(points);
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(line, e.what());
+    }
+  }
+  if (is_number(kind)) {
+    // Bare value: DC.
+    return circuit::Stimulus::dc(num(start));
+  }
+  throw ParseError(line, "unknown stimulus '" + tokens[start] + "'");
+}
+
+// IC=value suffix on C/L cards.
+std::optional<double> parse_ic(const std::vector<std::string>& tokens,
+                               std::size_t start, std::size_t line) {
+  for (std::size_t i = start; i < tokens.size(); ++i) {
+    const std::string lower = to_lower(tokens[i]);
+    if (lower.rfind("ic=", 0) == 0) {
+      try {
+        return parse_value(lower.substr(3));
+      } catch (const std::invalid_argument& e) {
+        throw ParseError(line, e.what());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+namespace {
+
+// A .subckt definition: ordered port names plus the raw cards inside.
+struct SubcktDef {
+  std::vector<std::string> ports;
+  std::vector<std::pair<std::size_t, std::string>> cards;
+};
+
+// Card-processing context: node/element name mapping for (possibly
+// nested) subcircuit expansion.
+struct ExpandContext {
+  circuit::Circuit* ckt;
+  const std::map<std::string, SubcktDef>* subckts;
+  std::string prefix;                                  // "X1." etc.
+  const std::map<std::string, std::string>* port_map;  // local -> global
+  int depth = 0;
+};
+
+bool is_ground(std::string_view name) {
+  return name == "0" || name == "gnd" || name == "GND";
+}
+
+// Translate a node name through the expansion context.
+std::string map_node(const ExpandContext& ctx, const std::string& name) {
+  if (is_ground(name)) return "0";
+  if (ctx.port_map != nullptr) {
+    const auto it = ctx.port_map->find(to_lower(name));
+    if (it != ctx.port_map->end()) return it->second;
+  }
+  return ctx.prefix + name;
+}
+
+void process_card(const std::vector<std::string>& tokens,
+                  std::size_t lineno, const ExpandContext& ctx);
+
+// Expand one subcircuit instance card: Xname node1..nodeK subcktName.
+void expand_instance(const std::vector<std::string>& tokens,
+                     std::size_t lineno, const ExpandContext& ctx) {
+  if (tokens.size() < 3) {
+    throw ParseError(lineno, "subcircuit instance needs nodes and a name");
+  }
+  if (ctx.depth > 40) {
+    throw ParseError(lineno, "subcircuit nesting too deep (recursive?)");
+  }
+  const std::string def_name = to_lower(tokens.back());
+  const auto it = ctx.subckts->find(def_name);
+  if (it == ctx.subckts->end()) {
+    throw ParseError(lineno,
+                     "unknown subcircuit '" + tokens.back() + "'");
+  }
+  const SubcktDef& def = it->second;
+  const std::size_t given = tokens.size() - 2;
+  if (given != def.ports.size()) {
+    throw ParseError(lineno, "subcircuit '" + tokens.back() + "' expects " +
+                                 std::to_string(def.ports.size()) +
+                                 " nodes, got " + std::to_string(given));
+  }
+  std::map<std::string, std::string> port_map;
+  for (std::size_t p = 0; p < def.ports.size(); ++p) {
+    port_map[to_lower(def.ports[p])] = map_node(ctx, tokens[1 + p]);
+  }
+  ExpandContext inner;
+  inner.ckt = ctx.ckt;
+  inner.subckts = ctx.subckts;
+  inner.prefix = ctx.prefix + tokens[0] + ".";
+  inner.port_map = &port_map;
+  inner.depth = ctx.depth + 1;
+  for (const auto& [inner_line, card] : def.cards) {
+    const auto inner_tokens = tokenize(card);
+    if (!inner_tokens.empty()) process_card(inner_tokens, inner_line, inner);
+  }
+}
+
+void process_card(const std::vector<std::string>& tokens,
+                  std::size_t lineno, const ExpandContext& ctx) {
+  circuit::Circuit& ckt = *ctx.ckt;
+  const std::string head = to_lower(tokens[0]);
+
+  if (head[0] == '.') {
+    if (head == ".end" || head == ".ends") return;
+    if (head == ".ic") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        std::string item = to_lower(tokens[i]);
+        const std::size_t eq = item.find('=');
+        if (eq != std::string::npos && item.rfind("v", 0) == 0) {
+          const std::string node = item.substr(1, eq - 1);
+          const double value = parse_value(item.substr(eq + 1));
+          ckt.set_initial_node_voltage(ckt.node(map_node(ctx, node)),
+                                       value);
+        } else if (item == "v" && i + 2 < tokens.size()) {
+          // "v ( node ) = value" fully split by the tokenizer.
+          ++i;
+          const std::string node = tokens[i];
+          ++i;
+          std::string val = tokens[i];
+          if (!val.empty() && val.front() == '=') val.erase(0, 1);
+          ckt.set_initial_node_voltage(ckt.node(map_node(ctx, node)),
+                                       parse_value(val));
+        } else {
+          throw ParseError(lineno, "bad .ic item '" + tokens[i] + "'");
+        }
+      }
+      return;
+    }
+    throw ParseError(lineno, "unknown directive '" + tokens[0] + "'");
+  }
+
+  auto need = [&](std::size_t count) {
+    if (tokens.size() < count) {
+      throw ParseError(lineno, "too few fields on '" + tokens[0] + "'");
+    }
+  };
+  auto value_of = [&](std::size_t i) -> double {
+    try {
+      return parse_value(tokens[i]);
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(lineno, e.what());
+    }
+  };
+  auto node_of = [&](std::size_t i) {
+    return ckt.node(map_node(ctx, tokens[i]));
+  };
+  const std::string name = ctx.prefix + tokens[0];
+
+  switch (head[0]) {
+    case 'r': {
+      need(4);
+      ckt.add_resistor(name, node_of(1), node_of(2), value_of(3));
+      break;
+    }
+    case 'c': {
+      need(4);
+      ckt.add_capacitor(name, node_of(1), node_of(2), value_of(3),
+                        parse_ic(tokens, 4, lineno));
+      break;
+    }
+    case 'l': {
+      need(4);
+      ckt.add_inductor(name, node_of(1), node_of(2), value_of(3),
+                       parse_ic(tokens, 4, lineno));
+      break;
+    }
+    case 'v': {
+      need(4);
+      ckt.add_vsource(name, node_of(1), node_of(2),
+                      parse_stimulus(tokens, 3, lineno));
+      break;
+    }
+    case 'i': {
+      need(4);
+      ckt.add_isource(name, node_of(1), node_of(2),
+                      parse_stimulus(tokens, 3, lineno));
+      break;
+    }
+    case 'e': {
+      need(6);
+      ckt.add_vcvs(name, node_of(1), node_of(2), node_of(3), node_of(4),
+                   value_of(5));
+      break;
+    }
+    case 'g': {
+      need(6);
+      ckt.add_vccs(name, node_of(1), node_of(2), node_of(3), node_of(4),
+                   value_of(5));
+      break;
+    }
+    case 'f': {
+      need(5);
+      ckt.add_cccs(name, node_of(1), node_of(2), ctx.prefix + tokens[3],
+                   value_of(4));
+      break;
+    }
+    case 'h': {
+      need(5);
+      ckt.add_ccvs(name, node_of(1), node_of(2), ctx.prefix + tokens[3],
+                   value_of(4));
+      break;
+    }
+    case 'x': {
+      expand_instance(tokens, lineno, ctx);
+      break;
+    }
+    default:
+      throw ParseError(lineno, "unknown element '" + tokens[0] + "'");
+  }
+}
+
+}  // namespace
+
+circuit::Circuit parse(std::string_view text) {
+  // Join continuation lines first.
+  std::vector<std::pair<std::size_t, std::string>> cards;
+  {
+    std::istringstream in{std::string(text)};
+    std::string raw;
+    std::size_t lineno = 0;
+    while (std::getline(in, raw)) {
+      ++lineno;
+      // Strip comments.
+      const std::size_t semi = raw.find(';');
+      if (semi != std::string::npos) raw.erase(semi);
+      std::string trimmed = raw;
+      trimmed.erase(0, trimmed.find_first_not_of(" \t\r"));
+      if (trimmed.empty()) continue;
+      if (trimmed.front() == '*') continue;
+      if (trimmed.front() == '+') {
+        if (cards.empty()) {
+          throw ParseError(lineno, "continuation with no previous card");
+        }
+        cards.back().second += " " + trimmed.substr(1);
+      } else {
+        cards.emplace_back(lineno, trimmed);
+      }
+    }
+  }
+
+  // Extract .subckt ... .ends blocks (top level only).
+  std::map<std::string, SubcktDef> subckts;
+  std::vector<std::pair<std::size_t, std::string>> top;
+  for (std::size_t i = 0; i < cards.size(); ++i) {
+    const auto tokens = tokenize(cards[i].second);
+    if (!tokens.empty() && to_lower(tokens[0]) == ".subckt") {
+      if (tokens.size() < 3) {
+        throw ParseError(cards[i].first,
+                         ".subckt needs a name and at least one port");
+      }
+      SubcktDef def;
+      for (std::size_t p = 2; p < tokens.size(); ++p) {
+        def.ports.push_back(tokens[p]);
+      }
+      const std::string def_name = to_lower(tokens[1]);
+      std::size_t j = i + 1;
+      bool closed = false;
+      for (; j < cards.size(); ++j) {
+        const auto inner = tokenize(cards[j].second);
+        if (!inner.empty() && to_lower(inner[0]) == ".subckt") {
+          throw ParseError(cards[j].first,
+                           "nested .subckt definitions are not supported");
+        }
+        if (!inner.empty() && to_lower(inner[0]) == ".ends") {
+          closed = true;
+          break;
+        }
+        def.cards.push_back(cards[j]);
+      }
+      if (!closed) {
+        throw ParseError(cards[i].first, "unterminated .subckt block");
+      }
+      if (!subckts.emplace(def_name, std::move(def)).second) {
+        throw ParseError(cards[i].first,
+                         "duplicate .subckt '" + tokens[1] + "'");
+      }
+      i = j;  // skip past .ends
+    } else {
+      top.push_back(cards[i]);
+    }
+  }
+
+  circuit::Circuit ckt;
+  ExpandContext ctx;
+  ctx.ckt = &ckt;
+  ctx.subckts = &subckts;
+  ctx.port_map = nullptr;
+  for (const auto& [lineno, card] : top) {
+    const auto tokens = tokenize(card);
+    if (!tokens.empty()) process_card(tokens, lineno, ctx);
+  }
+  ckt.validate();
+  return ckt;
+}
+
+circuit::Circuit parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("netlist: cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+namespace {
+
+std::string format_stimulus(const circuit::Stimulus& s) {
+  std::ostringstream out;
+  out.precision(12);
+  if (s.segments().empty()) {
+    out << "DC " << s.initial_value();
+    return out.str();
+  }
+  // Emit as PWL reproducing the breakpoint structure.
+  out << "PWL(";
+  // Reconstruct sample points: before first breakpoint, at each
+  // breakpoint, and one point per linear piece end.
+  double t_prev = s.segments().front().time;
+  out << t_prev << " " << s.value(t_prev) << " ";
+  for (std::size_t i = 0; i + 1 < s.segments().size(); ++i) {
+    const double t = s.segments()[i + 1].time;
+    out << t << " " << s.value(t) << " ";
+  }
+  const double t_last = s.last_breakpoint();
+  out << t_last + 1.0 << " " << s.value(t_last + 1.0) << ")";
+  return out.str();
+}
+
+}  // namespace
+
+std::string write(const circuit::Circuit& ckt) {
+  std::ostringstream out;
+  out.precision(12);
+  out << "* written by awesim\n";
+  for (const auto& e : ckt.elements()) {
+    using circuit::ElementKind;
+    const std::string np = ckt.node_name(e.pos);
+    const std::string nn = ckt.node_name(e.neg);
+    switch (e.kind) {
+      case ElementKind::Resistor:
+        out << e.name << " " << np << " " << nn << " " << e.value << "\n";
+        break;
+      case ElementKind::Capacitor:
+      case ElementKind::Inductor:
+        out << e.name << " " << np << " " << nn << " " << e.value;
+        if (e.initial_condition) out << " IC=" << *e.initial_condition;
+        out << "\n";
+        break;
+      case ElementKind::VoltageSource:
+      case ElementKind::CurrentSource:
+        out << e.name << " " << np << " " << nn << " "
+            << format_stimulus(e.stimulus) << "\n";
+        break;
+      case ElementKind::Vcvs:
+      case ElementKind::Vccs:
+        out << e.name << " " << np << " " << nn << " "
+            << ckt.node_name(e.ctrl_pos) << " " << ckt.node_name(e.ctrl_neg)
+            << " " << e.value << "\n";
+        break;
+      case ElementKind::Cccs:
+      case ElementKind::Ccvs:
+        out << e.name << " " << np << " " << nn << " " << e.ctrl_source
+            << " " << e.value << "\n";
+        break;
+    }
+  }
+  for (const auto& [node, volts] : ckt.initial_node_voltages()) {
+    out << ".ic v(" << ckt.node_name(node) << ")=" << volts << "\n";
+  }
+  out << ".end\n";
+  return out.str();
+}
+
+}  // namespace awesim::netlist

@@ -1,0 +1,58 @@
+// SPICE-like netlist parsing, so the examples/benches can describe the
+// paper's circuits the way a designer would, and so extracted interconnect
+// can be loaded from files.
+//
+// Supported cards (case-insensitive; '*' and ';' comments; '+' line
+// continuation; engineering suffixes f p n u m k meg g t):
+//
+//   Rname n+ n- value
+//   Cname n+ n- value [IC=v]
+//   Lname n+ n- value [IC=i]
+//   Vname n+ n- DC value
+//   Vname n+ n- STEP(v0 v1 [delay [rise]])
+//   Vname n+ n- PWL(t1 v1 t2 v2 ...)
+//   Iname n+ n- DC value | STEP(...) | PWL(...)
+//   Ename n+ n- nc+ nc- gain          (VCVS)
+//   Gname n+ n- nc+ nc- gm            (VCCS)
+//   Fname n+ n- Vctrl gain            (CCCS)
+//   Hname n+ n- Vctrl rm              (CCVS)
+//   .ic V(node)=value ...
+//   .end (optional)
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "circuit/circuit.h"
+
+namespace awesim::netlist {
+
+/// Parse failure with 1-based line number context.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("netlist line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse a netlist from text.  Throws ParseError.
+circuit::Circuit parse(std::string_view text);
+
+/// Parse a netlist file.  Throws ParseError / std::runtime_error.
+circuit::Circuit parse_file(const std::string& path);
+
+/// Parse one engineering-notation value ("2.2k", "10p", "1meg", "4.7").
+/// Throws std::invalid_argument on malformed input.
+double parse_value(std::string_view token);
+
+/// Serialize a circuit back to netlist text (round-trip tested).
+std::string write(const circuit::Circuit& ckt);
+
+}  // namespace awesim::netlist

@@ -1,0 +1,258 @@
+#include "rctree/rctree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+namespace awesim::rctree {
+
+using circuit::Element;
+using circuit::ElementKind;
+using circuit::kGround;
+
+std::optional<RcTree> extract(const circuit::Circuit& ckt) {
+  const Element* source = nullptr;
+  std::vector<const Element*> resistors;
+  std::vector<const Element*> capacitors;
+  for (const auto& e : ckt.elements()) {
+    switch (e.kind) {
+      case ElementKind::Resistor:
+        resistors.push_back(&e);
+        break;
+      case ElementKind::Capacitor:
+        capacitors.push_back(&e);
+        break;
+      case ElementKind::VoltageSource:
+        if (source != nullptr) return std::nullopt;  // one source only
+        source = &e;
+        break;
+      default:
+        return std::nullopt;  // inductors, controlled sources, I sources
+    }
+  }
+  if (source == nullptr || source->neg != kGround) return std::nullopt;
+  const circuit::NodeId root = source->pos;
+  if (root == kGround) return std::nullopt;
+
+  // No resistor may touch ground, and every capacitor must be grounded.
+  std::multimap<circuit::NodeId, const Element*> adjacency;
+  for (const Element* r : resistors) {
+    if (r->pos == kGround || r->neg == kGround) return std::nullopt;
+    adjacency.emplace(r->pos, r);
+    adjacency.emplace(r->neg, r);
+  }
+  for (const Element* c : capacitors) {
+    if (c->pos != kGround && c->neg != kGround) return std::nullopt;
+  }
+
+  // BFS over the resistor graph from the root; a tree touches every
+  // resistor exactly once and never revisits a node.
+  RcTree tree;
+  std::map<circuit::NodeId, std::size_t> tree_index;
+  tree.parent.push_back(-1);
+  tree.resistance.push_back(0.0);
+  tree.capacitance.push_back(0.0);
+  tree.circuit_node.push_back(root);
+  tree_index.emplace(root, 0);
+
+  std::vector<const Element*> parent_edge{nullptr};
+  std::queue<circuit::NodeId> frontier;
+  frontier.push(root);
+  std::size_t resistors_used = 0;
+  while (!frontier.empty()) {
+    const circuit::NodeId at = frontier.front();
+    frontier.pop();
+    const std::size_t at_idx = tree_index.at(at);
+    auto [lo, hi] = adjacency.equal_range(at);
+    for (auto it = lo; it != hi; ++it) {
+      const Element* r = it->second;
+      if (r == parent_edge[at_idx]) continue;  // edge back to our parent
+      const circuit::NodeId other = (r->pos == at) ? r->neg : r->pos;
+      if (tree_index.count(other) > 0) {
+        return std::nullopt;  // resistor loop (or parallel resistors)
+      }
+      tree.parent.push_back(static_cast<int>(at_idx));
+      tree.resistance.push_back(r->value);
+      tree.capacitance.push_back(0.0);
+      tree.circuit_node.push_back(other);
+      parent_edge.push_back(r);
+      tree_index.emplace(other, tree.size() - 1);
+      frontier.push(other);
+      ++resistors_used;
+    }
+  }
+  if (resistors_used != resistors.size()) {
+    return std::nullopt;  // resistors not reachable from the root
+  }
+
+  for (const Element* c : capacitors) {
+    const circuit::NodeId node = (c->pos == kGround) ? c->neg : c->pos;
+    auto it = tree_index.find(node);
+    if (it == tree_index.end()) return std::nullopt;  // cap off the tree
+    tree.capacitance[it->second] += c->value;
+  }
+  return tree;
+}
+
+namespace {
+
+// One order of the two-pass tree walk: given per-node weights w, return
+// y_i = sum_k R(path(0,i) /\ path(0,k)) * w_k for every node i, in O(n).
+la::RealVector tree_walk(const RcTree& tree, const la::RealVector& w) {
+  const std::size_t n = tree.size();
+  // Pass 1 (leaves to root, valid because children always have larger
+  // indices than their parents by construction): subtree sums of w.
+  la::RealVector subtree = w;
+  for (std::size_t v = n; v-- > 1;) {
+    subtree[static_cast<std::size_t>(tree.parent[v])] += subtree[v];
+  }
+  // Pass 2 (root to leaves): accumulate R * subtree along each path.
+  la::RealVector y(n, 0.0);
+  for (std::size_t v = 1; v < n; ++v) {
+    y[v] = y[static_cast<std::size_t>(tree.parent[v])] +
+           tree.resistance[v] * subtree[v];
+  }
+  return y;
+}
+
+}  // namespace
+
+std::vector<double> elmore_delays(const RcTree& tree) {
+  return tree_walk(tree, tree.capacitance);
+}
+
+std::vector<la::RealVector> transfer_moments(const RcTree& tree, int count) {
+  if (count < 1) throw std::invalid_argument("transfer_moments: count >= 1");
+  std::vector<la::RealVector> moments;
+  moments.emplace_back(tree.size(), 1.0);  // m_0 = DC gain = 1 everywhere
+  for (int j = 1; j < count; ++j) {
+    la::RealVector w(tree.size());
+    for (std::size_t k = 0; k < tree.size(); ++k) {
+      w[k] = tree.capacitance[k] * moments.back()[k];
+    }
+    la::RealVector y = tree_walk(tree, w);
+    for (auto& v : y) v = -v;
+    moments.push_back(std::move(y));
+  }
+  return moments;
+}
+
+double single_pole_response(double t, double v_final, double elmore_delay) {
+  if (t <= 0.0) return 0.0;
+  return v_final * (1.0 - std::exp(-t / elmore_delay));
+}
+
+DelayBounds delay_bounds(const RcTree& tree, std::size_t node,
+                         double fraction) {
+  if (node >= tree.size()) {
+    throw std::out_of_range("delay_bounds: node out of range");
+  }
+  if (!(fraction > 0.0 && fraction < 1.0)) {
+    throw std::invalid_argument("delay_bounds: fraction in (0,1)");
+  }
+  const auto moments = transfer_moments(tree, 3);
+  const double mean = -moments[1][node];          // T_D
+  const double second = 2.0 * moments[2][node];   // int t^2 f dt
+  const double variance = std::max(0.0, second - mean * mean);
+
+  DelayBounds b;
+  // Markov: 1 - v(t) <= T_D / t  =>  threshold reached by T_D/(1-x).
+  b.upper = mean / (1.0 - fraction);
+  // Cantelli on the left tail: v(t) <= var / (var + (T_D - t)^2), t <= T_D.
+  b.lower = std::max(
+      0.0, mean - std::sqrt(variance * (1.0 - fraction) / fraction));
+  return b;
+}
+
+double TwoPoleModel::unit_step_response(double t) const {
+  if (t < 0.0) return 0.0;
+  double v = 1.0 + k1 * std::exp(p1 * t);
+  if (!is_single_pole) v += k2 * std::exp(p2 * t);
+  return v;
+}
+
+TwoPoleModel two_pole_model(const RcTree& tree, std::size_t node) {
+  const auto moments = transfer_moments(tree, 4);
+  // AWE moment sequence for a unit step (see core/moments.h):
+  // mu_{-1} = 1, mu_j = m_{j+1}.
+  const double mu_m1 = 1.0;
+  const double mu_0 = moments[1][node];
+  const double mu_1 = moments[2][node];
+  const double mu_2 = moments[3][node];
+
+  TwoPoleModel model;
+  auto single_pole = [&]() {
+    model.is_single_pole = true;
+    model.p1 = 1.0 / mu_0;  // mu_0 = -T_D
+    model.k1 = -1.0;
+    model.k2 = 0.0;
+    model.p2 = 0.0;
+    return model;
+  };
+  // Hankel rows: mu_{-1} a0 + mu_0 a1 = -mu_1; mu_0 a0 + mu_1 a1 = -mu_2.
+  const double det = mu_m1 * mu_1 - mu_0 * mu_0;
+  if (det == 0.0) return single_pole();
+  const double a0 = (-mu_1 * mu_1 + mu_0 * mu_2) / det;
+  const double a1 = (-mu_m1 * mu_2 + mu_0 * mu_1) / det;
+  // y^2 + a1 y + a0 = 0, y = 1/p.
+  const double disc = a1 * a1 - 4.0 * a0;
+  if (disc < 0.0) return single_pole();  // RC tree responses are real-poled
+  const double sq = std::sqrt(disc);
+  const double y1 = 0.5 * (-a1 + (a1 >= 0.0 ? -sq : sq));
+  const double y2 = (y1 != 0.0) ? a0 / y1 : 0.0;
+  if (y1 >= 0.0 || y2 >= 0.0 || y1 == y2) return single_pole();
+  model.p1 = 1.0 / y1;
+  model.p2 = 1.0 / y2;
+  // Residues: k1 + k2 = -mu_{-1}; k1/p1 + k2/p2 = -mu_0.
+  const double d = y1 - y2;
+  model.k1 = (-mu_0 - (-mu_m1) * y2) / d;
+  model.k2 = -mu_m1 - model.k1;
+  return model;
+}
+
+circuit::Circuit to_circuit(const RcTree& tree,
+                            const circuit::Stimulus& input) {
+  circuit::Circuit ckt;
+  std::vector<circuit::NodeId> ids(tree.size());
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    ids[v] = ckt.node("n" + std::to_string(v));
+  }
+  ckt.add_vsource("Vin", ids[0], kGround, input);
+  for (std::size_t v = 1; v < tree.size(); ++v) {
+    ckt.add_resistor("R" + std::to_string(v),
+                     ids[static_cast<std::size_t>(tree.parent[v])], ids[v],
+                     tree.resistance[v]);
+    if (tree.capacitance[v] > 0.0) {
+      ckt.add_capacitor("C" + std::to_string(v), ids[v], kGround,
+                        tree.capacitance[v]);
+    }
+  }
+  return ckt;
+}
+
+RcTree random_tree(std::size_t nodes, std::uint64_t seed, double r_min,
+                   double r_max, double c_min, double c_max) {
+  if (nodes == 0) throw std::invalid_argument("random_tree: nodes >= 1");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  auto log_uniform = [&](double lo, double hi) {
+    return lo * std::pow(hi / lo, unit(rng));
+  };
+  RcTree tree;
+  tree.parent.assign(1, -1);
+  tree.resistance.assign(1, 0.0);
+  tree.capacitance.assign(1, 0.0);
+  tree.circuit_node.assign(1, 0);
+  for (std::size_t v = 1; v <= nodes; ++v) {
+    std::uniform_int_distribution<std::size_t> pick(0, v - 1);
+    tree.parent.push_back(static_cast<int>(pick(rng)));
+    tree.resistance.push_back(log_uniform(r_min, r_max));
+    tree.capacitance.push_back(log_uniform(c_min, c_max));
+    tree.circuit_node.push_back(0);
+  }
+  return tree;
+}
+
+}  // namespace awesim::rctree

@@ -1,0 +1,102 @@
+// RC-tree methods: the baseline delay estimators of Section II of the
+// paper, against which AWE is compared and to which a first-order AWE
+// approximation reduces (Section IV).
+//
+// An RC tree (Penfield-Rubinstein sense) is an RC network with a capacitor
+// from every node to ground, no floating capacitors, no resistor loops and
+// no resistors to ground, driven by one ideal voltage source at its root.
+// For such circuits every moment can be computed in O(n) per order by tree
+// walks (the paper's Section 4.1), with no matrix factorization at all.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "la/matrix.h"
+
+namespace awesim::rctree {
+
+/// Normalized RC tree.  Tree node 0 is the source node (the ideal input);
+/// every other node k has a resistor `resistance[k]` to `parent[k]` and a
+/// capacitor `capacitance[k]` to ground.  Node 0's resistance/capacitance
+/// entries are unused (zero).
+struct RcTree {
+  std::vector<int> parent;            // parent[0] == -1
+  std::vector<double> resistance;     // ohms, to parent
+  std::vector<double> capacitance;    // farads, to ground
+  std::vector<circuit::NodeId> circuit_node;  // back-map into the Circuit
+
+  std::size_t size() const { return parent.size(); }
+};
+
+/// Try to interpret a Circuit as an RC tree: exactly one voltage source
+/// (root to ground), resistors forming a tree rooted there, all capacitors
+/// grounded, no other elements.  Returns nullopt when the circuit does not
+/// have that shape (floating caps, resistor loops, grounded resistors,
+/// inductors, ... -- precisely the cases that need full AWE).
+std::optional<RcTree> extract(const circuit::Circuit& ckt);
+
+/// Elmore delays T_D for every tree node (eq. 50 of the paper): the first
+/// moment of the impulse response, computed by the classic two-pass tree
+/// walk in O(n).
+std::vector<double> elmore_delays(const RcTree& tree);
+
+/// Transfer-function moments per node: result[j][k] is the coefficient of
+/// s^j in H_k(s), j = 0..count-1 (m_0 = 1, m_1 = -T_D, ...), each order
+/// one O(n) tree walk.  These are the moments AWE matches, up to the
+/// source amplitude (see core/moments.h).
+std::vector<la::RealVector> transfer_moments(const RcTree& tree, int count);
+
+/// The single-pole Penfield-Rubinstein waveform model (eq. 2):
+/// v(t) = v_final * (1 - exp(-t / T_D)).
+double single_pole_response(double t, double v_final, double elmore_delay);
+
+/// Provable delay bounds for the monotone step response of an RC tree,
+/// from the moment interpretation of the Elmore delay (the impulse
+/// response is a probability density with mean T_D): a Markov-inequality
+/// upper bound and a Cantelli-inequality lower bound using the density's
+/// variance from the second tree moment.  These play the role of the
+/// best/worst-case bounds of [7],[14] (not the exact published formulas,
+/// which the paper only references).
+struct DelayBounds {
+  double lower = 0.0;  // response cannot reach the threshold before this
+  double upper = 0.0;  // response must have reached the threshold by this
+};
+
+/// Bounds for reaching `fraction` (0 < fraction < 1) of the final value at
+/// tree node `node`.
+DelayBounds delay_bounds(const RcTree& tree, std::size_t node,
+                         double fraction);
+
+/// Two-pole waveform model fitted to the first four transfer moments
+/// (m_0..m_3) at one node -- the Chu/Horowitz-style double time constant
+/// model of Section 2.3.  Returns poles p1, p2 (1/s) and residues so that
+/// the unit step response is 1 + k1*exp(p1 t) + k2*exp(p2 t).
+/// Falls back to a single pole (k2 = 0) when the moments do not support
+/// two distinct stable poles.
+struct TwoPoleModel {
+  double p1 = 0.0, p2 = 0.0;
+  double k1 = 0.0, k2 = 0.0;
+  bool is_single_pole = false;
+
+  double unit_step_response(double t) const;
+};
+
+TwoPoleModel two_pole_model(const RcTree& tree, std::size_t node);
+
+/// Convert a tree back into a Circuit driven by the given stimulus at the
+/// root (node names: "n0" (root), "n1", ...).
+circuit::Circuit to_circuit(const RcTree& tree,
+                            const circuit::Stimulus& input);
+
+/// Random RC tree with `nodes` tree nodes (excluding the source node),
+/// element values log-uniform in [r_min, r_max] x [c_min, c_max];
+/// deterministic in `seed`.  For property tests and scaling benches.
+RcTree random_tree(std::size_t nodes, std::uint64_t seed,
+                   double r_min = 10.0, double r_max = 1e4,
+                   double c_min = 1e-15, double c_max = 1e-12);
+
+}  // namespace awesim::rctree

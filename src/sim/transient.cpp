@@ -1,0 +1,141 @@
+#include "sim/transient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "la/lu.h"
+
+namespace awesim::sim {
+
+namespace {
+
+// RHS value just before time t (left limit, for stepping into a jump).
+la::RealVector rhs_before(const mna::MnaSystem& mna, double t) {
+  la::RealVector b = mna.rhs_initial();
+  for (const auto& ev : mna.events()) {
+    if (ev.time >= t) break;
+    const double dt = t - ev.time;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] += ev.value_jump[i] + ev.slope_change[i] * dt;
+    }
+  }
+  return b;
+}
+
+bool event_has_jump(const mna::SourceEvent& ev) {
+  for (double v : ev.value_jump) {
+    if (v != 0.0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TransientSimulator::TransientSimulator(const circuit::Circuit& ckt,
+                                       mna::Options mna_options)
+    : mna_(ckt, mna_options) {}
+
+waveform::Waveform TransientSimulator::run(
+    const Probe& probe, double t_stop,
+    const TransientOptions& options) const {
+  if (t_stop <= 0.0) {
+    throw std::invalid_argument("TransientSimulator: t_stop must be > 0");
+  }
+  if (probe.node == circuit::kGround) {
+    throw std::invalid_argument("TransientSimulator: probe ground");
+  }
+  const double h =
+      options.timestep > 0.0 ? options.timestep : t_stop / 2000.0;
+
+  // Time grid: uniform steps plus every stimulus breakpoint in range, so a
+  // discontinuity never lands mid-step.  Jump times are also marked so the
+  // step leaving them can fall back to backward Euler.
+  std::set<double> grid;
+  const auto steps = static_cast<std::size_t>(std::ceil(t_stop / h));
+  for (std::size_t i = 0; i <= steps; ++i) {
+    grid.insert(std::min(t_stop, static_cast<double>(i) * h));
+  }
+  std::set<double> jump_times;
+  for (const auto& ev : mna_.events()) {
+    if (ev.time > 0.0 && ev.time < t_stop) grid.insert(ev.time);
+    if (event_has_jump(ev)) jump_times.insert(ev.time);
+  }
+  std::vector<double> times(grid.begin(), grid.end());
+
+  const std::size_t n = mna_.dim();
+  const std::size_t out = mna_.node_index(probe.node);
+
+  la::RealVector x = mna_.initial_state();
+  std::vector<double> rec_t{0.0};
+  std::vector<double> rec_v{x[out]};
+
+  int be_remaining = std::max(1, options.be_startup_steps);
+  for (std::size_t k = 1; k < times.size(); ++k) {
+    const double t0 = times[k - 1];
+    const double t1 = times[k];
+    const double dt = t1 - t0;
+    const bool after_jump = jump_times.count(t0) > 0;
+    const bool use_be = options.method == Method::BackwardEuler ||
+                        be_remaining > 0 || after_jump;
+
+    la::RealVector rhs(n, 0.0);
+    const mna::Solver* solver = nullptr;
+    if (use_be) {
+      // (G + C/dt) x1 = b(t1) + (C/dt) x0
+      solver = &mna_.shifted(1.0 / dt);
+      const la::RealVector cx = mna_.apply_C(x);
+      // A jump scheduled exactly at t1 is applied on the step leaving t1,
+      // so evaluate from the left here (t=0 jumps are already in rhs_at).
+      rhs = (t1 > 0.0 && jump_times.count(t1) > 0) ? rhs_before(mna_, t1)
+                                                   : mna_.rhs_at(t1);
+      for (std::size_t i = 0; i < n; ++i) rhs[i] += cx[i] / dt;
+    } else {
+      // Trapezoidal: (G + 2C/dt) x1 = b(t1) + b(t0+) + (2C/dt - G) x0.
+      solver = &mna_.shifted(2.0 / dt);
+      const la::RealVector cx = mna_.apply_C(x);
+      const la::RealVector gx = mna_.g_sparse().apply(x);
+      // b(t1) evaluated from the left if t1 is itself a jump point.
+      la::RealVector b1 = jump_times.count(t1) > 0 ? rhs_before(mna_, t1)
+                                                   : mna_.rhs_at(t1);
+      const la::RealVector b0 = mna_.rhs_at(t0);
+      for (std::size_t i = 0; i < n; ++i) {
+        rhs[i] = b1[i] + b0[i] + 2.0 * cx[i] / dt - gx[i];
+      }
+    }
+    x = solver->solve(rhs);
+    if (be_remaining > 0) --be_remaining;
+    rec_t.push_back(t1);
+    rec_v.push_back(x[out]);
+  }
+  return waveform::Waveform(std::move(rec_t), std::move(rec_v));
+}
+
+waveform::Waveform TransientSimulator::run_adaptive(
+    const Probe& probe, double t_stop,
+    const AdaptiveOptions& options) const {
+  TransientOptions opt = options.base;
+  if (opt.timestep <= 0.0) opt.timestep = t_stop / 512.0;
+
+  waveform::Waveform prev = run(probe, t_stop, opt);
+  for (int r = 0; r < options.max_refinements; ++r) {
+    opt.timestep *= 0.5;
+    waveform::Waveform next = run(probe, t_stop, opt);
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      max_diff = std::max(max_diff,
+                          std::abs(prev.values()[i] -
+                                   next.value_at(prev.times()[i])));
+    }
+    const double range =
+        std::max(1e-300, next.max_value() - next.min_value());
+    prev = std::move(next);
+    if (max_diff <= options.tolerance * range) break;
+  }
+  return prev;
+}
+
+}  // namespace awesim::sim

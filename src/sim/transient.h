@@ -1,0 +1,73 @@
+// Reference transient simulator — the repository's stand-in for the SPICE
+// runs the paper compares AWE against.
+//
+// Integrates  G x + C x' = b(t)  with the trapezoidal rule (SPICE's default
+// companion model) or backward Euler, from the same initial state the AWE
+// engine uses, so AWE-vs-"exact" comparisons are apples to apples.  A fixed
+// timestep keeps the LU factorization of (G + 2C/h) reusable across all
+// steps; the adaptive driver re-runs with a halved step until the observed
+// waveform converges, which at these (linear-circuit) problem sizes is both
+// simple and robust.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "mna/system.h"
+#include "waveform/waveform.h"
+
+namespace awesim::sim {
+
+enum class Method {
+  Trapezoidal,
+  BackwardEuler,
+};
+
+struct TransientOptions {
+  Method method = Method::Trapezoidal;
+
+  /// Fixed integration step.  If <= 0, chosen as t_stop / 2000.
+  double timestep = 0.0;
+
+  /// Number of backward-Euler startup steps (damps the trapezoidal rule's
+  /// response to the t=0 stimulus discontinuity, like SPICE's TR-BDF kick).
+  int be_startup_steps = 2;
+};
+
+struct AdaptiveOptions {
+  TransientOptions base;
+
+  /// Refinement stops when the max pointwise change between successive
+  /// halvings is below tol * (waveform range).
+  double tolerance = 1e-5;
+  int max_refinements = 12;
+};
+
+/// One observable: a node voltage (versus ground) by node id.
+struct Probe {
+  circuit::NodeId node = circuit::kGround;
+};
+
+class TransientSimulator {
+ public:
+  explicit TransientSimulator(const circuit::Circuit& ckt,
+                              mna::Options mna_options = {});
+
+  /// Simulate [0, t_stop] and record the probe.  Returns the sampled
+  /// waveform including the t=0 initial point.
+  waveform::Waveform run(const Probe& probe, double t_stop,
+                         const TransientOptions& options = {}) const;
+
+  /// Run with successive step halving until converged; the tight-tolerance
+  /// reference used wherever the paper shows a SPICE curve.
+  waveform::Waveform run_adaptive(const Probe& probe, double t_stop,
+                                  const AdaptiveOptions& options = {}) const;
+
+  const mna::MnaSystem& system() const { return mna_; }
+
+ private:
+  mna::MnaSystem mna_;
+};
+
+}  // namespace awesim::sim

@@ -1,0 +1,233 @@
+#include "timing/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace awesim::timing {
+
+void Design::add_gate(Gate gate) {
+  if (gate.name.empty()) {
+    throw std::invalid_argument("Design: gate with empty name");
+  }
+  if (!gates_.emplace(gate.name, gate).second) {
+    throw std::invalid_argument("Design: duplicate gate '" + gate.name +
+                                "'");
+  }
+}
+
+void Design::add_net(std::string driver, Net net) {
+  if (gates_.count(driver) == 0) {
+    throw std::invalid_argument("Design: unknown driver gate '" + driver +
+                                "'");
+  }
+  nets_.push_back({std::move(driver), std::move(net)});
+}
+
+void Design::set_primary_input(const std::string& gate) {
+  if (gates_.count(gate) == 0) {
+    throw std::invalid_argument("Design: unknown gate '" + gate + "'");
+  }
+  primary_inputs_.push_back(gate);
+}
+
+namespace {
+
+// Build the stage circuit for one net: ramp source -> driver resistance ->
+// parasitics -> sink input capacitances.  Returns the circuit and the
+// circuit nodes of the driver point and each sink point.
+struct StageCircuit {
+  circuit::Circuit ckt;
+  circuit::NodeId driver_node;
+  std::map<std::string, circuit::NodeId> sink_nodes;
+};
+
+StageCircuit build_stage(const Gate& driver, const Net& net,
+                         const std::map<std::string, Gate>& gates,
+                         double swing, double slew) {
+  StageCircuit sc;
+  auto& ckt = sc.ckt;
+  const auto vin = ckt.node("__in");
+  ckt.add_vsource("Vdrv", vin, circuit::kGround,
+                  slew > 0.0
+                      ? circuit::Stimulus::ramp_step(0.0, swing, slew)
+                      : circuit::Stimulus::step(0.0, swing));
+  const auto drv = ckt.node("DRV");
+  ckt.add_resistor("__Rdrv", vin, drv, driver.drive_resistance);
+  sc.driver_node = drv;
+
+  std::size_t counter = 0;
+  for (const auto& e : net.parasitics) {
+    const auto a = ckt.node(e.node_a);
+    const auto b = ckt.node(e.node_b);
+    const std::string name = "__p" + std::to_string(counter++);
+    switch (e.kind) {
+      case NetElement::Kind::Resistor:
+        ckt.add_resistor(name, a, b, e.value);
+        break;
+      case NetElement::Kind::Capacitor:
+        ckt.add_capacitor(name, a, b, e.value);
+        break;
+      case NetElement::Kind::Inductor:
+        ckt.add_inductor(name, a, b, e.value);
+        break;
+    }
+  }
+  for (const auto& [sink, node_name] : net.sink_node) {
+    const auto node = ckt.node(node_name);
+    sc.sink_nodes[sink] = node;
+    const auto it = gates.find(sink);
+    if (it != gates.end() && it->second.input_capacitance > 0.0) {
+      ckt.add_capacitor("__cin_" + sink, node, circuit::kGround,
+                        it->second.input_capacitance);
+    }
+  }
+  return sc;
+}
+
+}  // namespace
+
+TimingReport Design::analyze(const AnalysisOptions& options) const {
+  // Topological order over gates: a net's sinks depend on its driver.
+  std::map<std::string, std::vector<const NetInstance*>> driven_by;
+  std::map<std::string, int> fanin_count;
+  for (const auto& [name, gate] : gates_) fanin_count[name] = 0;
+  for (const auto& ni : nets_) {
+    driven_by[ni.driver].push_back(&ni);
+    for (const auto& [sink, node] : ni.net.sink_node) {
+      if (gates_.count(sink) > 0) ++fanin_count[sink];
+    }
+  }
+
+  std::map<std::string, double> arrival;
+  std::map<std::string, double> slew;
+  std::map<std::string, std::string> predecessor;
+  std::queue<std::string> ready;
+  for (const auto& pi : primary_inputs_) {
+    arrival[pi] = 0.0;
+    slew[pi] = options.input_slew;
+    ready.push(pi);
+  }
+  // Gates with no fan-in that are not declared primary inputs also start
+  // at t = 0 (conservative default).
+  for (const auto& [name, count] : fanin_count) {
+    if (count == 0 && arrival.count(name) == 0) {
+      arrival[name] = 0.0;
+      slew[name] = options.input_slew;
+      ready.push(name);
+    }
+  }
+
+  TimingReport report;
+  std::set<std::string> processed;
+  while (!ready.empty()) {
+    const std::string gate_name = ready.front();
+    ready.pop();
+    if (!processed.insert(gate_name).second) continue;
+    const Gate& driver = gates_.at(gate_name);
+    const double t_in = arrival.at(gate_name);
+    const double in_slew = slew.at(gate_name);
+
+    auto it = driven_by.find(gate_name);
+    if (it == driven_by.end()) continue;  // endpoint gate
+    for (const NetInstance* ni : it->second) {
+      StageTiming st;
+      st.driver_gate = gate_name;
+      st.net = ni->net.name;
+      st.input_arrival = t_in;
+
+      StageCircuit sc = build_stage(driver, ni->net, gates_,
+                                    options.swing, in_slew);
+      core::Engine engine(sc.ckt);
+      core::EngineOptions eopt;
+      eopt.order = options.order;
+      eopt.auto_order = true;
+      eopt.error_tolerance = 0.01;
+      eopt.max_order = std::max(options.order + 2, 6);
+
+      for (const auto& [sink, node] : sc.sink_nodes) {
+        const auto result = engine.approximate(node, eopt);
+        st.awe_order_used =
+            std::max(st.awe_order_used, result.order_used);
+        // Horizon: generous multiple of the slowest time constant plus
+        // the input slew.
+        const double tau = result.approximation.dominant_time_constant();
+        const double horizon = 12.0 * tau + 3.0 * in_slew + 1e-15;
+        const double v_th = options.swing * options.delay_threshold_fraction;
+        const double v_lo = options.swing * options.slew_low_fraction;
+        const double v_hi = options.swing * options.slew_high_fraction;
+        const auto t_th =
+            result.approximation.first_crossing(v_th, 0.0, horizon);
+        const auto t_lo =
+            result.approximation.first_crossing(v_lo, 0.0, horizon);
+        const auto t_hi =
+            result.approximation.first_crossing(v_hi, 0.0, horizon);
+        SinkTiming sink_t;
+        sink_t.gate = sink;
+        sink_t.stage_delay =
+            driver.intrinsic_delay + t_th.value_or(horizon);
+        sink_t.slew = (t_hi && t_lo) ? *t_hi - *t_lo : horizon;
+        sink_t.arrival = t_in + sink_t.stage_delay;
+        st.sinks.push_back(sink_t);
+
+        if (gates_.count(sink) > 0) {
+          const bool improves = arrival.count(sink) == 0 ||
+                                sink_t.arrival > arrival[sink];
+          if (improves) {
+            arrival[sink] = sink_t.arrival;
+            slew[sink] = sink_t.slew;
+            predecessor[sink] = gate_name;
+          }
+          if (--fanin_count[sink] == 0) ready.push(sink);
+        } else {
+          // Design output endpoint.
+          if (sink_t.arrival > report.critical_delay) {
+            report.critical_delay = sink_t.arrival;
+            // Reconstruct the path below once all arrivals are final.
+            report.critical_path.clear();
+            report.critical_path.push_back(sink);
+            std::string back = gate_name;
+            while (true) {
+              report.critical_path.push_back(back);
+              const auto pit = predecessor.find(back);
+              if (pit == predecessor.end()) break;
+              back = pit->second;
+            }
+            std::reverse(report.critical_path.begin(),
+                         report.critical_path.end());
+          }
+        }
+      }
+      report.stages.push_back(std::move(st));
+    }
+  }
+
+  if (processed.size() < gates_.size()) {
+    // Some gate never became ready: combinational cycle (or a sink whose
+    // fan-in never resolves).
+    throw std::invalid_argument(
+        "Design: combinational cycle or unreachable gates detected");
+  }
+  report.gate_arrival = arrival;
+  // If no design-output endpoint was seen, the critical path ends at the
+  // latest-arriving gate input.
+  if (report.critical_path.empty() && !arrival.empty()) {
+    const auto worst = std::max_element(
+        arrival.begin(), arrival.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    report.critical_delay = worst->second;
+    std::string back = worst->first;
+    while (true) {
+      report.critical_path.push_back(back);
+      const auto pit = predecessor.find(back);
+      if (pit == predecessor.end()) break;
+      back = pit->second;
+    }
+    std::reverse(report.critical_path.begin(), report.critical_path.end());
+  }
+  return report;
+}
+
+}  // namespace awesim::timing

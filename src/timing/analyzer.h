@@ -1,0 +1,126 @@
+// Stage-based static timing analysis on top of AWE -- the application the
+// paper positions itself inside (Section II: "A typical approach to timing
+// analysis of MOS integrated circuits is to divide the design into stages,
+// with each stage consisting of a gate output and the interconnect path
+// which it drives", with MOSFETs modeled as approximate linear resistors
+// and capacitors).
+//
+// The model:
+//   * a Gate is a linear driver: switching resistance, input pin
+//     capacitance, intrinsic delay;
+//   * a Net is a named piece of linear interconnect (R/C/L elements over
+//     local node names) with one driver hookup point and one hookup point
+//     per sink;
+//   * the Design wires gate outputs to nets and net sinks to gate inputs.
+//
+// Analysis walks the stages in topological order.  For every stage it
+// builds the stage circuit -- driver resistance, interconnect, sink input
+// capacitances -- applies a finite-slew ramp at the driver (the slew
+// propagated from the previous stage, Section 4.3's ramp handling), runs
+// AWE at the configured order, and extracts per-sink delay (threshold
+// crossing) and output slew (20%-80%).  Arrival times and the critical
+// path fall out of the graph traversal.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/engine.h"
+
+namespace awesim::timing {
+
+/// Linearized switching gate (the Section II MOSFET approximation).
+struct Gate {
+  std::string name;
+  double drive_resistance = 1e3;   // ohms
+  double input_capacitance = 5e-15;  // farads, per input pin
+  double intrinsic_delay = 0.0;    // seconds, added at the gate output
+};
+
+/// One element of a net's parasitics, over net-local node names.
+/// The reserved node name "DRV" is the driver hookup; sink hookups are
+/// named by the sink pin they connect to.
+struct NetElement {
+  enum class Kind { Resistor, Capacitor, Inductor } kind;
+  std::string node_a;
+  std::string node_b;  // "0" for ground
+  double value = 0.0;
+};
+
+struct Net {
+  std::string name;
+  std::vector<NetElement> parasitics;
+  /// Net-local node name where each sink gate input attaches.
+  std::map<std::string, std::string> sink_node;  // sink gate -> node name
+};
+
+struct AnalysisOptions {
+  /// Supply swing and measurement thresholds.
+  double swing = 5.0;
+  double delay_threshold_fraction = 0.5;  // 50% delay
+  double slew_low_fraction = 0.2;
+  double slew_high_fraction = 0.8;
+
+  /// AWE order for every stage (auto-escalated if unstable).
+  int order = 3;
+
+  /// Slew of the primary-input transition.
+  double input_slew = 0.1e-9;
+};
+
+struct SinkTiming {
+  std::string gate;         // receiving gate
+  double stage_delay = 0.0;  // driver switch -> threshold at the sink
+  double slew = 0.0;         // 20-80% rise time at the sink
+  double arrival = 0.0;      // absolute arrival time at the sink input
+};
+
+struct StageTiming {
+  std::string driver_gate;
+  std::string net;
+  double input_arrival = 0.0;
+  std::vector<SinkTiming> sinks;
+  int awe_order_used = 0;
+};
+
+struct TimingReport {
+  std::vector<StageTiming> stages;
+  /// Arrival time at each gate input (max over fan-in).
+  std::map<std::string, double> gate_arrival;
+  /// Latest-arriving endpoint and the chain of gates leading to it.
+  double critical_delay = 0.0;
+  std::vector<std::string> critical_path;
+};
+
+/// A gate-level design: gates plus nets connecting them.
+class Design {
+ public:
+  /// Add a gate.  Throws std::invalid_argument on duplicate names.
+  void add_gate(Gate gate);
+
+  /// Connect `driver` gate's output through `net` to the sinks listed in
+  /// net.sink_node.  Sinks that name no known gate are design outputs.
+  void add_net(std::string driver, Net net);
+
+  /// Mark a gate as driven by a primary input (its input arrival is 0).
+  void set_primary_input(const std::string& gate);
+
+  /// Run the full analysis.  Throws std::invalid_argument for structural
+  /// problems (unknown gates, combinational cycles).
+  TimingReport analyze(const AnalysisOptions& options = {}) const;
+
+ private:
+  struct NetInstance {
+    std::string driver;
+    Net net;
+  };
+
+  std::map<std::string, Gate> gates_;
+  std::vector<NetInstance> nets_;
+  std::vector<std::string> primary_inputs_;
+};
+
+}  // namespace awesim::timing

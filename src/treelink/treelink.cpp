@@ -1,0 +1,304 @@
+#include "treelink/treelink.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace awesim::treelink {
+
+using circuit::ElementKind;
+using circuit::kGround;
+
+namespace {
+
+// Union-find for spanning-tree selection.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+TreeLinkSystem::TreeLinkSystem(const circuit::Circuit& ckt) {
+  ckt.validate();
+  const std::size_t num_nodes = ckt.node_count();
+  node_voltage_size_ = num_nodes - 1;
+
+  // Collect branches; sources have tree priority.
+  std::vector<Branch> sources;
+  std::vector<Branch> resistors;
+  for (const auto& e : ckt.elements()) {
+    switch (e.kind) {
+      case ElementKind::VoltageSource:
+        sources.push_back({Branch::Kind::Source, e.pos, e.neg, 0.0,
+                           source_count_++});
+        if (e.stimulus.has_unbounded_ramp()) {
+          throw std::invalid_argument(
+              "TreeLinkSystem: unbounded ramp stimuli unsupported");
+        }
+        source_initial_.push_back(e.stimulus.initial_value());
+        source_final_.push_back(e.stimulus.final_value());
+        break;
+      case ElementKind::Resistor:
+        resistors.push_back(
+            {Branch::Kind::Resistor, e.pos, e.neg, e.value, 0});
+        break;
+      case ElementKind::Capacitor:
+        capacitors_.push_back({e.pos, e.neg, e.value});
+        break;
+      default:
+        throw std::invalid_argument(
+            "TreeLinkSystem: only R, C and V sources supported (use the "
+            "MNA path for " +
+            e.name + ")");
+    }
+  }
+
+  // Spanning tree: sources first (a rejected source = source loop).
+  DisjointSets sets(num_nodes);
+  std::vector<Branch> tree_edges;
+  for (const auto& s : sources) {
+    if (!sets.unite(static_cast<std::size_t>(s.pos),
+                    static_cast<std::size_t>(s.neg))) {
+      throw std::invalid_argument(
+          "TreeLinkSystem: loop of ideal voltage sources");
+    }
+    tree_edges.push_back(s);
+  }
+  for (const auto& r : resistors) {
+    if (sets.unite(static_cast<std::size_t>(r.pos),
+                   static_cast<std::size_t>(r.neg))) {
+      tree_edges.push_back(r);
+    } else {
+      resistor_links_.push_back(r);
+    }
+  }
+
+  // Root the tree at ground: BFS.
+  std::vector<std::vector<std::pair<std::size_t, const Branch*>>> adj(
+      num_nodes);
+  for (const auto& b : tree_edges) {
+    adj[static_cast<std::size_t>(b.pos)].emplace_back(
+        static_cast<std::size_t>(b.neg), &b);
+    adj[static_cast<std::size_t>(b.neg)].emplace_back(
+        static_cast<std::size_t>(b.pos), &b);
+  }
+  parent_.assign(num_nodes, -2);  // -2 = unvisited
+  tree_branches_.assign(num_nodes,
+                        {Branch::Kind::Resistor, 0, 0, 0.0, 0});
+  order_.clear();
+  std::queue<std::size_t> frontier;
+  frontier.push(0);
+  parent_[0] = -1;
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop();
+    order_.push_back(v);
+    for (const auto& [w, branch] : adj[v]) {
+      if (parent_[w] != -2) continue;
+      parent_[w] = static_cast<int>(v);
+      tree_branches_[w] = *branch;
+      frontier.push(w);
+    }
+  }
+  if (order_.size() != num_nodes) {
+    throw std::invalid_argument(
+        "TreeLinkSystem: some nodes have no resistive/source path to "
+        "ground (floating subcircuit); use the MNA path");
+  }
+
+  // Initial node voltages: equilibrium at initial source values, then
+  // explicit IC overrides (matches MnaSystem::initial_state()).
+  x0_ = dc_solve(la::RealVector(capacitors_.size(), 0.0), source_initial_);
+  for (const auto& [node, volts] : ckt.initial_node_voltages()) {
+    x0_[static_cast<std::size_t>(node) - 1] = volts;
+  }
+  for (const auto& e : ckt.elements()) {
+    if (e.kind == ElementKind::Capacitor && e.initial_condition) {
+      const double vneg =
+          e.neg == kGround ? 0.0
+                           : x0_[static_cast<std::size_t>(e.neg) - 1];
+      if (e.pos != kGround) {
+        x0_[static_cast<std::size_t>(e.pos) - 1] =
+            vneg + *e.initial_condition;
+      }
+    }
+  }
+}
+
+la::RealVector TreeLinkSystem::solve_with_injections(
+    const la::RealVector& node_injections,
+    const la::RealVector& source_values,
+    const la::RealVector& link_currents) const {
+  const std::size_t num_nodes = node_voltage_size_ + 1;
+  // Total injections including resistor-link currents.
+  la::RealVector inj(node_injections);
+  for (std::size_t l = 0; l < resistor_links_.size(); ++l) {
+    const auto& link = resistor_links_[l];
+    const double i = link_currents.empty() ? 0.0 : link_currents[l];
+    if (link.pos != kGround) {
+      inj[static_cast<std::size_t>(link.pos) - 1] -= i;
+    }
+    if (link.neg != kGround) {
+      inj[static_cast<std::size_t>(link.neg) - 1] += i;
+    }
+  }
+
+  // Subtree injection sums, leaves to root.
+  la::RealVector subtree(num_nodes, 0.0);
+  for (std::size_t i = 1; i < num_nodes; ++i) {
+    subtree[order_[i]] = inj[order_[i] - 1];
+  }
+  for (std::size_t i = num_nodes; i-- > 1;) {
+    const std::size_t v = order_[i];
+    subtree[static_cast<std::size_t>(parent_[v])] += subtree[v];
+  }
+
+  // Node voltages, root to leaves.
+  la::RealVector v(num_nodes, 0.0);
+  for (std::size_t i = 1; i < num_nodes; ++i) {
+    const std::size_t c = order_[i];
+    const std::size_t p = static_cast<std::size_t>(parent_[c]);
+    const Branch& br = tree_branches_[c];
+    if (br.kind == Branch::Kind::Source) {
+      const double vs = source_values[br.index];
+      // v(pos) - v(neg) = vs.
+      v[c] = (static_cast<std::size_t>(br.pos) == c) ? v[p] + vs
+                                                     : v[p] - vs;
+    } else {
+      // Current flowing parent -> child is -subtree(child); the voltage
+      // rises by R * subtree(child) going from parent to child.
+      v[c] = v[p] + br.value * subtree[c];
+    }
+  }
+  la::RealVector out(node_voltage_size_);
+  for (std::size_t n = 1; n < num_nodes; ++n) out[n - 1] = v[n];
+  return out;
+}
+
+la::RealVector TreeLinkSystem::dc_solve(
+    const la::RealVector& cap_currents,
+    const la::RealVector& source_values) const {
+  if (cap_currents.size() != capacitors_.size() ||
+      source_values.size() != source_count_) {
+    throw std::invalid_argument("TreeLinkSystem::dc_solve: size mismatch");
+  }
+  // Capacitor current I flows pos -> neg through the source it became.
+  la::RealVector inj(node_voltage_size_, 0.0);
+  for (std::size_t k = 0; k < capacitors_.size(); ++k) {
+    const auto& cap = capacitors_[k];
+    const double i = cap_currents[k];
+    if (cap.pos != kGround) {
+      inj[static_cast<std::size_t>(cap.pos) - 1] -= i;
+    }
+    if (cap.neg != kGround) {
+      inj[static_cast<std::size_t>(cap.neg) - 1] += i;
+    }
+  }
+
+  const la::RealVector base =
+      solve_with_injections(inj, source_values, {});
+  if (resistor_links_.empty()) return base;
+
+  // Lazily build and factor the link system (Z - diag(R)) i = -A.
+  const std::size_t q = resistor_links_.size();
+  auto link_drop = [&](const la::RealVector& volts, const Branch& link) {
+    const double va = link.pos == kGround
+                          ? 0.0
+                          : volts[static_cast<std::size_t>(link.pos) - 1];
+    const double vb = link.neg == kGround
+                          ? 0.0
+                          : volts[static_cast<std::size_t>(link.neg) - 1];
+    return va - vb;
+  };
+  if (!link_lu_) {
+    la::RealMatrix m(q, q);
+    la::RealVector zero_inj(node_voltage_size_, 0.0);
+    la::RealVector zero_src(source_count_, 0.0);
+    for (std::size_t col = 0; col < q; ++col) {
+      la::RealVector unit(q, 0.0);
+      unit[col] = 1.0;
+      const auto volts = solve_with_injections(zero_inj, zero_src, unit);
+      for (std::size_t row = 0; row < q; ++row) {
+        m(row, col) = link_drop(volts, resistor_links_[row]);
+      }
+      m(col, col) -= resistor_links_[col].value;
+    }
+    link_lu_.emplace(std::move(m));
+  }
+  la::RealVector rhs(q);
+  for (std::size_t row = 0; row < q; ++row) {
+    rhs[row] = -link_drop(base, resistor_links_[row]);
+  }
+  const la::RealVector i_links = link_lu_->solve(rhs);
+  return solve_with_injections(inj, source_values, i_links);
+}
+
+std::vector<la::RealVector> TreeLinkSystem::moments(int count) const {
+  if (count < 1) {
+    throw std::invalid_argument("TreeLinkSystem::moments: count >= 1");
+  }
+  const la::RealVector zero_src(source_count_, 0.0);
+
+  // Particular (final) solution and homogeneous initial vector.
+  const la::RealVector xb =
+      dc_solve(la::RealVector(capacitors_.size(), 0.0), source_final_);
+  la::RealVector xh0(node_voltage_size_);
+  for (std::size_t i = 0; i < xh0.size(); ++i) xh0[i] = x0_[i] - xb[i];
+
+  auto cap_currents_from = [&](const la::RealVector& volts) {
+    la::RealVector i(capacitors_.size());
+    for (std::size_t k = 0; k < capacitors_.size(); ++k) {
+      const auto& cap = capacitors_[k];
+      const double vp = cap.pos == kGround
+                            ? 0.0
+                            : volts[static_cast<std::size_t>(cap.pos) - 1];
+      const double vn = cap.neg == kGround
+                            ? 0.0
+                            : volts[static_cast<std::size_t>(cap.neg) - 1];
+      // Injection +C (vp - vn) into pos corresponds to source current
+      // -C (vp - vn) flowing pos -> neg (see the MNA rhs convention).
+      i[k] = -cap.farads * (vp - vn);
+    }
+    return i;
+  };
+
+  std::vector<la::RealVector> result;
+  la::RealVector mu_m1(xh0);
+  for (auto& v : mu_m1) v = -v;
+  result.push_back(std::move(mu_m1));
+
+  la::RealVector prev = xh0;
+  for (int j = 0; j + 1 < count; ++j) {
+    la::RealVector next = dc_solve(cap_currents_from(prev), zero_src);
+    if (j > 0) {
+      for (auto& v : next) v = -v;
+    }
+    result.push_back(next);
+    prev = next;
+  }
+  return result;
+}
+
+}  // namespace awesim::treelink

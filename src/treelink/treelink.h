@@ -1,0 +1,100 @@
+// Tree/link analysis -- the formulation the paper actually uses for the
+// moment computations (Section IV, eqs. 51-62).
+//
+// For the "moments circuit" (capacitors replaced by known current
+// sources), pick a spanning tree that prefers voltage sources and
+// resistors; every capacitor-turned-current-source and every surplus
+// resistor becomes a link.  Then:
+//
+//   * if all links are current sources (an RC tree, or any circuit whose
+//     resistors + sources form a tree), the DC solution is *explicit*:
+//     tree branch currents are subtree sums of the injected currents and
+//     node voltages are path sums of branch drops -- a generalized tree
+//     walk, O(n) per moment with no factorization at all (eq. 52-56);
+//   * otherwise (resistor loops / grounded resistors, Fig. 9-11) only the
+//     resistor-link currents are unknown: a dense system of that tiny
+//     size (often 1) is factored once and each moment still costs O(n)
+//     plus one small back-substitution (eq. 61-62).
+//
+// Supported elements: R, C, independent V sources (the scope the paper's
+// Section IV develops; inductors and controlled sources use the MNA
+// path).  Verified against the MNA moment recursion in the test suite.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "la/lu.h"
+#include "la/matrix.h"
+
+namespace awesim::treelink {
+
+class TreeLinkSystem {
+ public:
+  /// Build from a circuit containing only R, C, and V-source elements.
+  /// Throws std::invalid_argument for anything else, for circuits whose
+  /// voltage sources alone form a loop, or for nodes unreachable from
+  /// ground through tree branches.
+  explicit TreeLinkSystem(const circuit::Circuit& ckt);
+
+  /// Number of unknown link currents: 0 means every DC solve is explicit
+  /// (the paper's RC-tree case); small positive values arise from
+  /// resistor loops / grounded resistors.
+  std::size_t link_unknowns() const { return resistor_links_.size(); }
+
+  std::size_t node_count() const { return node_voltage_size_; }
+
+  /// One DC solve of the moments circuit: capacitor k (in circuit
+  /// element order) carries a known current `cap_currents[k]` flowing
+  /// from its pos to its neg terminal; voltage source k holds
+  /// `source_values[k]`.  Returns node voltages (index = NodeId - 1,
+  /// ground excluded), like the MNA node block.
+  la::RealVector dc_solve(const la::RealVector& cap_currents,
+                          const la::RealVector& source_values) const;
+
+  /// Number of capacitors / voltage sources, defining the argument
+  /// ordering of dc_solve.
+  std::size_t capacitor_count() const { return capacitors_.size(); }
+  std::size_t source_count() const { return source_count_; }
+
+  /// AWE moment vectors of the homogeneous response for the circuit's own
+  /// stimulus (step sources; ICs honored): result[i] is mu_{i-1}
+  /// (i.e. result[0] = mu_{-1} = -x_h0, result[1] = mu_0, ...), each a
+  /// node-voltage vector.  `count` total vectors.
+  std::vector<la::RealVector> moments(int count) const;
+
+ private:
+  struct Branch {
+    enum class Kind { Source, Resistor } kind;
+    circuit::NodeId pos;
+    circuit::NodeId neg;
+    double value = 0.0;      // resistance for resistors
+    std::size_t index = 0;   // source order for sources
+  };
+  struct CapRef {
+    circuit::NodeId pos;
+    circuit::NodeId neg;
+    double farads = 0.0;
+  };
+
+  // Explicit solve machinery: injections -> node voltages, O(n).
+  la::RealVector solve_with_injections(
+      const la::RealVector& node_injections,
+      const la::RealVector& source_values,
+      const la::RealVector& link_currents) const;
+
+  std::size_t node_voltage_size_ = 0;
+  std::size_t source_count_ = 0;
+  std::vector<Branch> tree_branches_;     // parent edge per node
+  std::vector<int> parent_;               // node (1-based compact) -> parent
+  std::vector<std::size_t> order_;        // nodes in BFS order from ground
+  std::vector<CapRef> capacitors_;
+  std::vector<Branch> resistor_links_;    // surplus resistors
+  la::RealVector x0_;                     // initial node voltages (ICs)
+  la::RealVector source_initial_;
+  la::RealVector source_final_;
+  mutable std::optional<la::Lu<double>> link_lu_;  // factored link system
+};
+
+}  // namespace awesim::treelink

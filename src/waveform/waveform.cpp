@@ -1,0 +1,129 @@
+#include "waveform/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace awesim::waveform {
+
+Waveform::Waveform(std::vector<double> times, std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  if (times_.size() != values_.size()) {
+    throw std::invalid_argument("Waveform: times/values size mismatch");
+  }
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (times_[i] <= times_[i - 1]) {
+      throw std::invalid_argument("Waveform: times must strictly increase");
+    }
+  }
+}
+
+Waveform Waveform::sample(const std::function<double(double)>& fn, double t0,
+                          double t1, std::size_t count) {
+  if (count < 2 || t1 <= t0) {
+    throw std::invalid_argument("Waveform::sample: bad range or count");
+  }
+  std::vector<double> ts(count);
+  std::vector<double> vs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t =
+        t0 + (t1 - t0) * static_cast<double>(i) /
+                 static_cast<double>(count - 1);
+    ts[i] = t;
+    vs[i] = fn(t);
+  }
+  return Waveform(std::move(ts), std::move(vs));
+}
+
+double Waveform::value_at(double t) const {
+  if (empty()) throw std::logic_error("Waveform: empty");
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double f = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  return values_[lo] + f * (values_[hi] - values_[lo]);
+}
+
+std::optional<double> Waveform::first_crossing(double level) const {
+  for (std::size_t i = 1; i < size(); ++i) {
+    const double a = values_[i - 1] - level;
+    const double b = values_[i] - level;
+    if (a == 0.0) return times_[i - 1];
+    if ((a < 0.0 && b >= 0.0) || (a > 0.0 && b <= 0.0)) {
+      const double f = a / (a - b);
+      return times_[i - 1] + f * (times_[i] - times_[i - 1]);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Waveform::last_crossing(double level) const {
+  std::optional<double> found;
+  for (std::size_t i = 1; i < size(); ++i) {
+    const double a = values_[i - 1] - level;
+    const double b = values_[i] - level;
+    if (a == 0.0) found = times_[i - 1];
+    if ((a < 0.0 && b >= 0.0) || (a > 0.0 && b <= 0.0)) {
+      const double f = a / (a - b);
+      found = times_[i - 1] + f * (times_[i] - times_[i - 1]);
+    }
+  }
+  return found;
+}
+
+std::optional<double> Waveform::delay_50() const {
+  if (size() < 2) return std::nullopt;
+  const double level = values_.front() + 0.5 * (values_.back() - values_.front());
+  return first_crossing(level);
+}
+
+double Waveform::max_value() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Waveform::min_value() const {
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Waveform::integral() const {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < size(); ++i) {
+    acc += 0.5 * (values_[i] + values_[i - 1]) * (times_[i] - times_[i - 1]);
+  }
+  return acc;
+}
+
+double Waveform::l2_difference_sq(const Waveform& other) const {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < size(); ++i) {
+    const double d0 = values_[i - 1] - other.value_at(times_[i - 1]);
+    const double d1 = values_[i] - other.value_at(times_[i]);
+    acc += 0.5 * (d0 * d0 + d1 * d1) * (times_[i] - times_[i - 1]);
+  }
+  return acc;
+}
+
+double Waveform::relative_error_vs(const Waveform& reference) const {
+  // Numerator: integral of squared difference on the reference grid.
+  const double num = reference.l2_difference_sq(*this);
+  // Denominator: squared norm of the reference transient about its final
+  // value (the "moving part"; a raw step response about zero would make
+  // errors look vanishingly small at long horizons).
+  const double vf = reference.values().back();
+  double den = 0.0;
+  const auto& ts = reference.times();
+  const auto& vs = reference.values();
+  for (std::size_t i = 1; i < reference.size(); ++i) {
+    const double d0 = vs[i - 1] - vf;
+    const double d1 = vs[i] - vf;
+    den += 0.5 * (d0 * d0 + d1 * d1) * (ts[i] - ts[i - 1]);
+  }
+  if (den <= 0.0) return num > 0.0 ? std::numeric_limits<double>::infinity()
+                                   : 0.0;
+  return std::sqrt(num / den);
+}
+
+}  // namespace awesim::waveform

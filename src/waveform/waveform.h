@@ -1,0 +1,72 @@
+// Sampled waveform type and the delay/error metrics used throughout the
+// paper's evaluation: 50 % delay (Fig. 2), logic-threshold crossing times
+// (Section 5.3), overshoot (Fig. 26), and the normalized L2 waveform error
+// that Section 3.4 defines as the accuracy measure.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace awesim::waveform {
+
+/// A waveform sampled at strictly increasing times, linearly interpolated
+/// between samples.
+class Waveform {
+ public:
+  Waveform() = default;
+
+  /// Construct from parallel time/value arrays (equal length, times
+  /// strictly increasing).  Throws std::invalid_argument otherwise.
+  Waveform(std::vector<double> times, std::vector<double> values);
+
+  /// Sample a callable on [t0, t1] with `count` uniformly spaced points
+  /// (count >= 2).
+  static Waveform sample(const std::function<double(double)>& fn, double t0,
+                         double t1, std::size_t count);
+
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  double front_time() const { return times_.front(); }
+  double back_time() const { return times_.back(); }
+
+  /// Linear interpolation; clamps outside the sampled range.
+  double value_at(double t) const;
+
+  /// First time the waveform crosses `level` (in either direction), or
+  /// nullopt if it never does.  Linear interpolation within segments.
+  std::optional<double> first_crossing(double level) const;
+
+  /// Last crossing of `level`, or nullopt.
+  std::optional<double> last_crossing(double level) const;
+
+  /// 50 % delay: first crossing of v0 + 0.5*(v_final - v0), where v0 is
+  /// the first sample and v_final the last.  The paper's Fig. 2 metric.
+  std::optional<double> delay_50() const;
+
+  /// Largest value over the record (for overshoot checks).
+  double max_value() const;
+  double min_value() const;
+
+  /// Trapezoidal integral of the waveform over its record.
+  double integral() const;
+
+  /// Trapezoidal integral of (this - other)^2 over this waveform's time
+  /// points (other is interpolated).
+  double l2_difference_sq(const Waveform& other) const;
+
+  /// Normalized L2 error vs a reference, the paper's eq. (35)/(37):
+  /// sqrt(int (ref - this)^2 dt / int ref_transient^2 dt), where the
+  /// transient of the reference is measured about its final value so a
+  /// step response's error is relative to the moving part of the waveform.
+  double relative_error_vs(const Waveform& reference) const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace awesim::waveform

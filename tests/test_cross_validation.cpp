@@ -1,0 +1,158 @@
+// Cross-validation sweeps tying the numeric substrates to each other on
+// randomized inputs: the eigenvalue solver vs the polynomial rootfinder,
+// AWE's full-order matches vs the exact eigen-poles, and the simulator vs
+// AWE on random damped RLC ladders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "circuit/circuit.h"
+#include "core/engine.h"
+#include "la/eig.h"
+#include "la/poly.h"
+#include "sim/transient.h"
+
+namespace awesim {
+
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::Stimulus;
+
+class RandomRlcLadder : public ::testing::TestWithParam<unsigned> {
+ protected:
+  // 2-3 section RLC ladder with randomized (but well-damped) values.
+  Circuit make() {
+    std::mt19937 rng(GetParam());
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    Circuit ckt;
+    auto prev = ckt.node("in");
+    ckt.add_vsource("V1", prev, kGround, Stimulus::step(0.0, 1.0));
+    const auto a = ckt.node("a");
+    ckt.add_resistor("Rs", prev, a, 20.0 + 60.0 * u(rng));
+    prev = a;
+    const int sections = 2 + (GetParam() % 2);
+    for (int k = 0; k < sections; ++k) {
+      const auto b = ckt.node("b" + std::to_string(k));
+      const auto n = ckt.node("n" + std::to_string(k));
+      ckt.add_inductor("L" + std::to_string(k), prev, b,
+                       2e-9 * std::pow(10.0, u(rng)));
+      ckt.add_resistor("Rw" + std::to_string(k), b, n, 2.0 + 6.0 * u(rng));
+      ckt.add_capacitor("C" + std::to_string(k), n, kGround,
+                        0.5e-12 * std::pow(10.0, u(rng)));
+      prev = n;
+    }
+    out_name_ = "n" + std::to_string(sections - 1);
+    return ckt;
+  }
+
+  std::string out_name_;
+};
+
+TEST_P(RandomRlcLadder, FullOrderAweRecoversEigenPoles) {
+  Circuit ckt = make();
+  core::Engine engine(ckt);
+  const auto actual = engine.actual_poles();
+  core::EngineOptions opt;
+  opt.order = static_cast<int>(actual.size());
+  const auto result = engine.approximate(ckt.find_node(out_name_), opt);
+  // Every matched pole must sit on an actual pole.
+  for (const auto& term : result.approximation.atoms()[1].terms) {
+    double best = 1e300;
+    for (const auto& p : actual) {
+      best = std::min(best, std::abs(term.pole - p) / std::abs(p));
+    }
+    EXPECT_LT(best, 1e-5) << "pole (" << term.pole.real() << ","
+                          << term.pole.imag() << ")";
+  }
+}
+
+TEST_P(RandomRlcLadder, AweMatchesSimulatorAtModestOrder) {
+  Circuit ckt = make();
+  core::Engine engine(ckt);
+  core::EngineOptions opt;
+  opt.order = 4;
+  const auto result = engine.approximate(ckt.find_node(out_name_), opt);
+  sim::TransientSimulator sim(ckt);
+  const double tau = result.approximation.dominant_time_constant();
+  const double horizon = 12.0 * tau;
+  sim::AdaptiveOptions aopt;
+  aopt.tolerance = 1e-6;
+  const auto ref = sim.run_adaptive({ckt.find_node(out_name_)}, horizon,
+                                    aopt);
+  const double err = result.approximation.sample(0.0, horizon, 1201)
+                         .relative_error_vs(ref);
+  EXPECT_LT(err, 0.30) << "seed " << GetParam();
+  // Final value exact regardless of order.
+  EXPECT_NEAR(result.approximation.final_value(), 1.0, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRlcLadder,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u, 16u));
+
+TEST(CrossValidation, CompanionRootsEqualEigenvalues) {
+  // polyroots (companion + polish) vs direct eigenvalues of the same
+  // companion matrix, random monic polynomials with roots in the left
+  // half plane.
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    la::ComplexVector roots;
+    const int pairs = 1 + trial % 3;
+    for (int p = 0; p < pairs; ++p) {
+      const double re = -0.2 - std::abs(u(rng));
+      const double im = 0.5 + std::abs(u(rng));
+      roots.emplace_back(re, im);
+      roots.emplace_back(re, -im);
+    }
+    roots.emplace_back(-0.1 - std::abs(u(rng)), 0.0);
+    const auto coeffs = la::poly_from_roots(roots);
+    const auto found = la::polyroots(coeffs);
+    ASSERT_EQ(found.size(), roots.size());
+    for (const auto& want : roots) {
+      double best = 1e300;
+      for (const auto& got : found) {
+        best = std::min(best, std::abs(got - want));
+      }
+      EXPECT_LT(best, 1e-7 * std::max(1.0, std::abs(want)))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(CrossValidation, MomentsOfMatchedModelIntegrateCorrectly) {
+  // For any stable matched model, mu_0 equals the closed-form integral of
+  // the transient -- checked by quadrature on a random RLC ladder.
+  Circuit ckt;
+  auto in = ckt.node("in");
+  auto a = ckt.node("a");
+  auto b = ckt.node("b");
+  ckt.add_vsource("V1", in, kGround, Stimulus::step(0.0, 2.0));
+  ckt.add_resistor("R1", in, a, 50.0);
+  ckt.add_inductor("L1", a, b, 5e-9);
+  ckt.add_capacitor("C1", b, kGround, 1e-12);
+  ckt.add_resistor("R2", b, kGround, 400.0);
+  core::Engine engine(ckt);
+  core::EngineOptions opt;
+  opt.order = 2;
+  const auto result = engine.approximate(b, opt);
+  const auto& terms = result.approximation.atoms()[1].terms;
+  const double mu0 = core::implied_moment(terms, 0);
+  // Quadrature of the transient (v - v_final).
+  const double v_final = result.approximation.final_value();
+  double acc = 0.0;
+  const double horizon = 50e-9;
+  const int n = 200000;
+  double prev = result.approximation.value(0.0) - v_final;
+  for (int i = 1; i <= n; ++i) {
+    const double t = horizon * i / n;
+    const double cur = result.approximation.value(t) - v_final;
+    acc += 0.5 * (prev + cur) * (horizon / n);
+    prev = cur;
+  }
+  EXPECT_NEAR(mu0, acc, 1e-3 * std::abs(acc) + 1e-15);
+  EXPECT_NEAR(result.approximation.settling_area(), acc,
+              1e-3 * std::abs(acc) + 1e-15);
+}
+
+}  // namespace awesim

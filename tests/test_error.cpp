@@ -1,0 +1,134 @@
+// The Section 3.4 accuracy machinery: closed-form exponential integrals,
+// the exact eq. 39 evaluation, and the Cauchy-inequality bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace awesim::core {
+
+namespace {
+
+using la::Complex;
+
+PoleResidueTerm term(double pr, double pi, double kr, double ki,
+                     int power = 1) {
+  return {Complex(pr, pi), Complex(kr, ki), power};
+}
+
+// Numerical quadrature cross-check for int f*g over [0, T].
+double quad_inner(const std::vector<PoleResidueTerm>& f,
+                  const std::vector<PoleResidueTerm>& g, double t_end,
+                  int n = 200000) {
+  double acc = 0.0;
+  double prev = evaluate_terms(f, 0.0) * evaluate_terms(g, 0.0);
+  const double h = t_end / n;
+  for (int i = 1; i <= n; ++i) {
+    const double t = h * i;
+    const double cur = evaluate_terms(f, t) * evaluate_terms(g, t);
+    acc += 0.5 * (prev + cur) * h;
+    prev = cur;
+  }
+  return acc;
+}
+
+}  // namespace
+
+TEST(ErrorEstimate, SingleExponentialNorm) {
+  // int (k e^{pt})^2 = k^2 / (-2p).
+  std::vector<PoleResidueTerm> f{term(-2.0, 0.0, 3.0, 0.0)};
+  EXPECT_NEAR(inner_product(f, f), 9.0 / 4.0, 1e-12);
+}
+
+TEST(ErrorEstimate, CrossTermAgainstQuadrature) {
+  std::vector<PoleResidueTerm> f{term(-1.0, 0.0, 2.0, 0.0),
+                                 term(-5.0, 0.0, -1.0, 0.0)};
+  std::vector<PoleResidueTerm> g{term(-3.0, 0.0, 0.7, 0.0)};
+  EXPECT_NEAR(inner_product(f, g), quad_inner(f, g, 30.0), 1e-6);
+}
+
+TEST(ErrorEstimate, ComplexPairIsRealValued) {
+  std::vector<PoleResidueTerm> f{term(-1.0, 4.0, 0.5, 0.3),
+                                 term(-1.0, -4.0, 0.5, -0.3)};
+  const double ip = inner_product(f, f);
+  EXPECT_NEAR(ip, quad_inner(f, f, 25.0), 1e-6);
+  EXPECT_GT(ip, 0.0);
+}
+
+TEST(ErrorEstimate, RepeatedPoleIntegral) {
+  // f = k t e^{pt} (power 2): int f^2 = k^2 * 2! / (-2p)^3.
+  std::vector<PoleResidueTerm> f{term(-2.0, 0.0, 3.0, 0.0, 2)};
+  EXPECT_NEAR(inner_product(f, f), 9.0 * 2.0 / 64.0, 1e-12);
+  EXPECT_NEAR(inner_product(f, f), quad_inner(f, f, 20.0), 1e-8);
+}
+
+TEST(ErrorEstimate, DivergentIntegralIsInfinite) {
+  std::vector<PoleResidueTerm> f{term(1.0, 0.0, 1.0, 0.0)};
+  EXPECT_TRUE(std::isinf(inner_product(f, f)));
+  EXPECT_TRUE(std::isinf(l2_distance(f, {})));
+}
+
+TEST(ErrorEstimate, L2DistanceOfIdenticalSetsIsZero) {
+  std::vector<PoleResidueTerm> f{term(-1.0, 2.0, 1.0, 0.5),
+                                 term(-1.0, -2.0, 1.0, -0.5),
+                                 term(-7.0, 0.0, -2.0, 0.0)};
+  EXPECT_NEAR(l2_distance(f, f), 0.0, 1e-9);
+  EXPECT_NEAR(exact_relative_error(f, f), 0.0, 1e-9);
+}
+
+TEST(ErrorEstimate, RelativeErrorScaleInvariant) {
+  std::vector<PoleResidueTerm> ref{term(-1.0, 0.0, 1.0, 0.0),
+                                   term(-4.0, 0.0, -0.3, 0.0)};
+  std::vector<PoleResidueTerm> approx{term(-1.05, 0.0, 0.98, 0.0)};
+  const double e1 = exact_relative_error(ref, approx);
+  // Scale all residues by 100: relative error unchanged.
+  auto ref2 = ref;
+  auto approx2 = approx;
+  for (auto& t : ref2) t.residue *= 100.0;
+  for (auto& t : approx2) t.residue *= 100.0;
+  EXPECT_NEAR(exact_relative_error(ref2, approx2), e1, 1e-10);
+  EXPECT_GT(e1, 0.0);
+  EXPECT_LT(e1, 0.5);
+}
+
+TEST(ErrorEstimate, CauchyBoundIsUpperBoundOnExact) {
+  // The paper's bound (eq. 40) can never undercut the exact eq. 39 value.
+  std::vector<PoleResidueTerm> ref{term(-1.0, 0.0, 1.0, 0.0),
+                                   term(-3.0, 0.0, -0.4, 0.0),
+                                   term(-9.0, 0.0, 0.1, 0.0)};
+  std::vector<PoleResidueTerm> approx{term(-1.02, 0.0, 0.97, 0.0),
+                                      term(-3.3, 0.0, -0.35, 0.0)};
+  const double exact = exact_relative_error(ref, approx);
+  const double bound = cauchy_relative_error(ref, approx);
+  EXPECT_GE(bound, exact * 0.999);
+  EXPECT_LT(bound, exact * 50.0);  // and not uselessly loose here
+}
+
+TEST(ErrorEstimate, CauchyBoundComplexPairs) {
+  std::vector<PoleResidueTerm> ref{term(-1.0, 5.0, 0.5, 0.2),
+                                   term(-1.0, -5.0, 0.5, -0.2),
+                                   term(-8.0, 0.0, -0.2, 0.0)};
+  std::vector<PoleResidueTerm> approx{term(-1.1, 4.9, 0.48, 0.22),
+                                      term(-1.1, -4.9, 0.48, -0.22)};
+  const double exact = exact_relative_error(ref, approx);
+  const double bound = cauchy_relative_error(ref, approx);
+  EXPECT_TRUE(std::isfinite(bound));
+  EXPECT_GE(bound, exact * 0.999);
+}
+
+TEST(ErrorEstimate, CauchyFallsBackToExactForRepeatedPoles) {
+  std::vector<PoleResidueTerm> ref{term(-2.0, 0.0, 1.0, 0.0, 2),
+                                   term(-2.0, 0.0, 0.5, 0.0, 1)};
+  std::vector<PoleResidueTerm> approx{term(-2.1, 0.0, 1.4, 0.0, 1)};
+  EXPECT_NEAR(cauchy_relative_error(ref, approx),
+              exact_relative_error(ref, approx), 1e-12);
+}
+
+TEST(ErrorEstimate, EmptyReference) {
+  EXPECT_NEAR(exact_relative_error({}, {}), 0.0, 1e-15);
+  std::vector<PoleResidueTerm> approx{term(-1.0, 0.0, 1.0, 0.0)};
+  EXPECT_TRUE(std::isinf(exact_relative_error({}, approx)));
+}
+
+}  // namespace awesim::core

@@ -1,0 +1,146 @@
+// Eigenvalue solver: the foundation of the "actual poles" columns in the
+// paper's Tables I/II and of the companion-matrix polynomial root finder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <random>
+
+#include "la/eig.h"
+#include "la/matrix.h"
+
+namespace la = awesim::la;
+
+namespace {
+
+// Sort complex values for order-insensitive comparison.
+void sort_eigs(la::ComplexVector& v) {
+  std::sort(v.begin(), v.end(), [](const la::Complex& a, const la::Complex& b) {
+    if (a.real() != b.real()) return a.real() < b.real();
+    return a.imag() < b.imag();
+  });
+}
+
+void expect_eigs_near(la::ComplexVector got, la::ComplexVector want,
+                      double tol) {
+  ASSERT_EQ(got.size(), want.size());
+  sort_eigs(got);
+  sort_eigs(want);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].real(), want[i].real(), tol) << "eig " << i;
+    EXPECT_NEAR(got[i].imag(), want[i].imag(), tol) << "eig " << i;
+  }
+}
+
+}  // namespace
+
+TEST(Eig, DiagonalMatrix) {
+  la::RealMatrix a{{3.0, 0.0, 0.0}, {0.0, -1.0, 0.0}, {0.0, 0.0, 7.5}};
+  expect_eigs_near(la::eigenvalues(a), {{3.0, 0.0}, {-1.0, 0.0}, {7.5, 0.0}},
+                   1e-10);
+}
+
+TEST(Eig, OneByOne) {
+  la::RealMatrix a{{-4.2}};
+  expect_eigs_near(la::eigenvalues(a), {{-4.2, 0.0}}, 1e-14);
+}
+
+TEST(Eig, RotationGivesConjugatePair) {
+  // [[0,-1],[1,0]] has eigenvalues +-i.
+  la::RealMatrix a{{0.0, -1.0}, {1.0, 0.0}};
+  expect_eigs_near(la::eigenvalues(a), {{0.0, 1.0}, {0.0, -1.0}}, 1e-12);
+}
+
+TEST(Eig, UpperTriangular) {
+  la::RealMatrix a{{1.0, 5.0, -2.0}, {0.0, 2.0, 9.0}, {0.0, 0.0, 3.0}};
+  expect_eigs_near(la::eigenvalues(a), {{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}},
+                   1e-9);
+}
+
+TEST(Eig, KnownNonsymmetric) {
+  // [[4,1],[2,3]]: trace 7, det 10 -> eigenvalues 5 and 2.
+  la::RealMatrix a{{4.0, 1.0}, {2.0, 3.0}};
+  expect_eigs_near(la::eigenvalues(a), {{5.0, 0.0}, {2.0, 0.0}}, 1e-10);
+}
+
+TEST(Eig, DampedOscillatorCompanion) {
+  // Characteristic polynomial s^2 + 2s + 5 -> s = -1 +- 2i.
+  la::RealMatrix a{{0.0, -5.0}, {1.0, -2.0}};
+  expect_eigs_near(la::eigenvalues(a), {{-1.0, 2.0}, {-1.0, -2.0}}, 1e-10);
+}
+
+TEST(Eig, TraceAndDeterminantInvariants) {
+  std::mt19937 rng(123);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(trial) % 9;
+    la::RealMatrix a(n, n);
+    double trace = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+      trace += a(i, i);
+    }
+    const auto eig = la::eigenvalues(a);
+    la::Complex sum{0.0, 0.0};
+    for (const auto& e : eig) sum += e;
+    EXPECT_NEAR(sum.real(), trace, 1e-8 * std::max(1.0, std::abs(trace)))
+        << "trial " << trial;
+    EXPECT_NEAR(sum.imag(), 0.0, 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(Eig, SymmetricMatrixEigenvaluesAreReal) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::size_t n = 12;
+  la::RealMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      a(i, j) = a(j, i) = dist(rng);
+    }
+  }
+  for (const auto& e : la::eigenvalues(a)) {
+    EXPECT_NEAR(e.imag(), 0.0, 1e-7);
+  }
+}
+
+TEST(Eig, BadlyScaledMatrixStillAccurate) {
+  // Similarity-scaled diagonal system: balancing must recover {1, 2, 3}.
+  la::RealMatrix a{{1.0, 1e9, 0.0}, {0.0, 2.0, 1e-9}, {0.0, 0.0, 3.0}};
+  expect_eigs_near(la::eigenvalues(a), {{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}},
+                   1e-6);
+}
+
+TEST(Eig, StiffTimeConstantSpread) {
+  // Diagonal with 6 decades of spread: every eigenvalue must be resolved
+  // to good relative accuracy (the Table I stiffness scenario).
+  la::RealMatrix a(5, 5);
+  const double values[5] = {1e-13, 3e-12, 5e-11, 2e-10, 7e-9};
+  for (std::size_t i = 0; i < 5; ++i) a(i, i) = values[i];
+  a(0, 4) = 1e-12;  // small coupling off-diagonal
+  auto eig = la::eigenvalues_by_magnitude(a);
+  ASSERT_EQ(eig.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(eig[i].real(), values[i], 1e-3 * values[i]);
+  }
+}
+
+TEST(Eig, ByMagnitudeIsSorted) {
+  la::RealMatrix a{{0.0, -5.0}, {1.0, -2.0}};
+  const auto eig = la::eigenvalues_by_magnitude(a);
+  ASSERT_EQ(eig.size(), 2u);
+  EXPECT_LE(std::abs(eig[0]), std::abs(eig[1]));
+}
+
+TEST(Eig, ThrowsOnNonSquare) {
+  la::RealMatrix a(2, 3);
+  EXPECT_THROW(la::eigenvalues(a), std::invalid_argument);
+}
+
+TEST(Eig, ZeroMatrix) {
+  la::RealMatrix a(3, 3);
+  for (const auto& e : la::eigenvalues(a)) {
+    EXPECT_EQ(e, la::Complex(0.0, 0.0));
+  }
+}

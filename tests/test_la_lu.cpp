@@ -1,0 +1,146 @@
+// LU factorization: solves, determinants, transposed solves, singular
+// detection, conditioning diagnostics -- for both real and complex scalars.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "la/lu.h"
+#include "la/matrix.h"
+
+namespace la = awesim::la;
+
+namespace {
+
+la::RealMatrix random_matrix(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  la::RealMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = dist(rng);
+    m(i, i) += 2.0;  // keep comfortably nonsingular
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(Lu, SolvesIdentity) {
+  const auto eye = la::RealMatrix::identity(4);
+  la::RealVector b{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(la::solve(eye, b), b);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  la::RealMatrix a{{2.0, 1.0}, {1.0, 3.0}};
+  // x = (1, 2): b = (4, 7).
+  const auto x = la::solve(a, {4.0, 7.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, PivotsOnZeroDiagonal) {
+  la::RealMatrix a{{0.0, 1.0}, {1.0, 0.0}};  // needs a row swap
+  const auto x = la::solve(a, {3.0, 5.0});
+  EXPECT_NEAR(x[0], 5.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, ResidualSmallOnRandomSystems) {
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    const std::size_t n = 3 + seed * 7;
+    const auto a = random_matrix(n, seed);
+    la::RealVector b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<double>(i) - 1.5;
+    const auto x = la::Lu<double>(a).solve(b);
+    const auto ax = a * x;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(ax[i], b[i], 1e-9) << "seed " << seed << " row " << i;
+    }
+  }
+}
+
+TEST(Lu, SolveTransposedMatchesExplicitTranspose) {
+  const auto a = random_matrix(9, 42);
+  la::RealVector b(9);
+  for (std::size_t i = 0; i < 9; ++i) b[i] = std::sin(static_cast<double>(i));
+  const auto xt = la::Lu<double>(a).solve_transposed(b);
+  const auto x2 = la::solve(a.transpose(), b);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(xt[i], x2[i], 1e-9);
+}
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+  la::RealMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_NEAR(la::Lu<double>(a).determinant(), -2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantTracksPermutationSign) {
+  la::RealMatrix a{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(la::Lu<double>(a).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  la::RealMatrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(la::Lu<double>{a}, la::SingularMatrixError);
+}
+
+TEST(Lu, SingularErrorReportsPivotIndex) {
+  la::RealMatrix a{{1.0, 0.0}, {0.0, 0.0}};
+  try {
+    la::Lu<double> lu(a);
+    FAIL() << "expected SingularMatrixError";
+  } catch (const la::SingularMatrixError& e) {
+    EXPECT_EQ(e.pivot_index(), 1u);
+  }
+}
+
+TEST(Lu, ThrowsOnNonSquare) {
+  la::RealMatrix a(2, 3);
+  EXPECT_THROW(la::Lu<double>{a}, std::invalid_argument);
+}
+
+TEST(Lu, ThrowsOnRhsSizeMismatch) {
+  la::RealMatrix a{{1.0, 0.0}, {0.0, 1.0}};
+  la::Lu<double> lu(a);
+  EXPECT_THROW(lu.solve({1.0}), std::invalid_argument);
+}
+
+TEST(Lu, ComplexSolve) {
+  using la::Complex;
+  la::ComplexMatrix a{{Complex{1.0, 1.0}, Complex{0.0, 0.0}},
+                      {Complex{0.0, 0.0}, Complex{0.0, 2.0}}};
+  const auto x = la::solve(a, {Complex{2.0, 0.0}, Complex{4.0, 0.0}});
+  // (1+i) x0 = 2 -> x0 = 1 - i;  2i x1 = 4 -> x1 = -2i.
+  EXPECT_NEAR(x[0].real(), 1.0, 1e-12);
+  EXPECT_NEAR(x[0].imag(), -1.0, 1e-12);
+  EXPECT_NEAR(x[1].real(), 0.0, 1e-12);
+  EXPECT_NEAR(x[1].imag(), -2.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesMatrixIsIdentity) {
+  const auto a = random_matrix(6, 7);
+  const auto inv = la::inverse(a);
+  const auto prod = a * inv;
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Lu, ConditionEstimateOrdersWellAndIllConditioned) {
+  const auto good = la::RealMatrix::identity(5);
+  la::RealMatrix bad = la::RealMatrix::identity(5);
+  bad(4, 4) = 1e-10;
+  const double cond_good =
+      la::Lu<double>(good).condition_estimate(good.norm_inf());
+  const double cond_bad =
+      la::Lu<double>(bad).condition_estimate(bad.norm_inf());
+  EXPECT_LT(cond_good, 10.0);
+  EXPECT_GT(cond_bad, 1e8);
+}
+
+TEST(Lu, PivotGrowthDetectsScaleSpread) {
+  la::RealMatrix m = la::RealMatrix::identity(3);
+  m(2, 2) = 1e-12;
+  EXPECT_GT(la::Lu<double>(m).pivot_growth(), 1e11);
+}

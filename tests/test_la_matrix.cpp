@@ -1,0 +1,95 @@
+// Dense matrix/vector basics.
+#include <gtest/gtest.h>
+
+#include "la/matrix.h"
+
+namespace la = awesim::la;
+
+TEST(Matrix, ConstructionAndIndexing) {
+  la::RealMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+  m(1, 2) = 4.5;
+  EXPECT_EQ(m(1, 2), 4.5);
+}
+
+TEST(Matrix, InitializerList) {
+  la::RealMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((la::RealMatrix{{1.0}, {2.0, 3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const auto eye = la::RealMatrix::identity(3);
+  EXPECT_EQ(eye(0, 0), 1.0);
+  EXPECT_EQ(eye(0, 1), 0.0);
+}
+
+TEST(Matrix, Arithmetic) {
+  la::RealMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  la::RealMatrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const auto sum = a + b;
+  EXPECT_EQ(sum(0, 0), 6.0);
+  const auto diff = b - a;
+  EXPECT_EQ(diff(1, 1), 4.0);
+  const auto scaled = a * 2.0;
+  EXPECT_EQ(scaled(1, 0), 6.0);
+  EXPECT_THROW(a + la::RealMatrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, Product) {
+  la::RealMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  la::RealMatrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const auto p = a * b;
+  EXPECT_EQ(p(0, 0), 2.0);
+  EXPECT_EQ(p(0, 1), 1.0);
+  EXPECT_EQ(p(1, 0), 4.0);
+  EXPECT_EQ(p(1, 1), 3.0);
+  EXPECT_THROW(a * la::RealMatrix(3, 2), std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  la::RealMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const auto y = a * la::RealVector{1.0, -1.0};
+  EXPECT_EQ(y[0], -1.0);
+  EXPECT_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, Transpose) {
+  la::RealMatrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const auto t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Norms) {
+  la::RealMatrix a{{1.0, -2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a.norm_inf(), 7.0);
+  EXPECT_NEAR(a.norm_fro(), std::sqrt(30.0), 1e-14);
+}
+
+TEST(Matrix, ComplexScalars) {
+  using la::Complex;
+  la::ComplexMatrix m(2, 2);
+  m(0, 0) = Complex(1.0, 1.0);
+  m(1, 1) = Complex(0.0, -2.0);
+  const auto p = m * m;
+  EXPECT_EQ(p(0, 0), Complex(0.0, 2.0));
+  EXPECT_EQ(p(1, 1), Complex(-4.0, 0.0));
+}
+
+TEST(VectorOps, NormsAndArithmetic) {
+  la::RealVector v{3.0, -4.0};
+  EXPECT_NEAR(la::norm2(v), 5.0, 1e-15);
+  EXPECT_EQ(la::norm_inf(v), 4.0);
+  const auto s = la::add(v, la::RealVector{1.0, 1.0});
+  EXPECT_EQ(s[0], 4.0);
+  const auto d = la::subtract(v, la::RealVector{1.0, 1.0});
+  EXPECT_EQ(d[1], -5.0);
+  const auto sc = la::scale(2.0, v);
+  EXPECT_EQ(sc[0], 6.0);
+}

@@ -1,0 +1,138 @@
+// Polynomial roots: the eq. 25 characteristic-polynomial solve.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/poly.h"
+
+namespace la = awesim::la;
+
+namespace {
+
+void expect_contains_root(const la::ComplexVector& roots, la::Complex want,
+                          double tol) {
+  for (const auto& r : roots) {
+    if (std::abs(r - want) <= tol) return;
+  }
+  FAIL() << "no root near (" << want.real() << ", " << want.imag() << ")";
+}
+
+}  // namespace
+
+TEST(Poly, EvaluatesHorner) {
+  // 1 + 2x + 3x^2 at x = 2 -> 17.
+  EXPECT_NEAR(la::polyval({1.0, 2.0, 3.0}, {2.0, 0.0}).real(), 17.0, 1e-14);
+}
+
+TEST(Poly, Derivative) {
+  // d/dx (1 + 2x + 3x^2) = 2 + 6x.
+  const auto d = la::polyder({1.0, 2.0, 3.0});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], 2.0);
+  EXPECT_EQ(d[1], 6.0);
+}
+
+TEST(Poly, LinearRoot) {
+  const auto r = la::polyroots({-6.0, 2.0});  // 2x - 6
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0].real(), 3.0, 1e-14);
+}
+
+TEST(Poly, QuadraticRealRoots) {
+  const auto r = la::polyroots({6.0, -5.0, 1.0});  // (x-2)(x-3)
+  ASSERT_EQ(r.size(), 2u);
+  expect_contains_root(r, {2.0, 0.0}, 1e-12);
+  expect_contains_root(r, {3.0, 0.0}, 1e-12);
+}
+
+TEST(Poly, QuadraticComplexRoots) {
+  const auto r = la::polyroots({5.0, 2.0, 1.0});  // x^2+2x+5: -1 +- 2i
+  ASSERT_EQ(r.size(), 2u);
+  expect_contains_root(r, {-1.0, 2.0}, 1e-12);
+  expect_contains_root(r, {-1.0, -2.0}, 1e-12);
+}
+
+TEST(Poly, QuadraticCancellationStable) {
+  // x^2 - 1e8 x + 1: naive formula loses the small root.
+  const auto r = la::polyroots({1.0, -1e8, 1.0});
+  ASSERT_EQ(r.size(), 2u);
+  expect_contains_root(r, {1e8, 0.0}, 1.0);
+  expect_contains_root(r, {1e-8, 0.0}, 1e-15);
+}
+
+TEST(Poly, CubicKnownRoots) {
+  // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6.
+  const auto r = la::polyroots({-6.0, 11.0, -6.0, 1.0});
+  ASSERT_EQ(r.size(), 3u);
+  expect_contains_root(r, {1.0, 0.0}, 1e-9);
+  expect_contains_root(r, {2.0, 0.0}, 1e-9);
+  expect_contains_root(r, {3.0, 0.0}, 1e-9);
+}
+
+TEST(Poly, QuarticMixedRoots) {
+  // (x+1)(x+4)(x^2 + 2x + 2): roots -1, -4, -1 +- i.
+  const auto quad = la::poly_from_roots(
+      {{-1.0, 0.0}, {-4.0, 0.0}, {-1.0, 1.0}, {-1.0, -1.0}});
+  const auto r = la::polyroots(quad);
+  ASSERT_EQ(r.size(), 4u);
+  expect_contains_root(r, {-1.0, 0.0}, 1e-8);
+  expect_contains_root(r, {-4.0, 0.0}, 1e-8);
+  expect_contains_root(r, {-1.0, 1.0}, 1e-8);
+  expect_contains_root(r, {-1.0, -1.0}, 1e-8);
+}
+
+TEST(Poly, RepeatedRoot) {
+  // (x+2)^3 = x^3 + 6x^2 + 12x + 8.
+  const auto r = la::polyroots({8.0, 12.0, 6.0, 1.0});
+  ASSERT_EQ(r.size(), 3u);
+  for (const auto& root : r) {
+    EXPECT_NEAR(std::abs(root - la::Complex(-2.0, 0.0)), 0.0, 2e-4);
+  }
+}
+
+TEST(Poly, ZeroRootsDeflatedExactly) {
+  // x^2 (x - 5): roots 0, 0, 5.
+  const auto r = la::polyroots({0.0, 0.0, -5.0, 1.0});
+  ASSERT_EQ(r.size(), 3u);
+  int zeros = 0;
+  for (const auto& root : r) {
+    if (root == la::Complex(0.0, 0.0)) ++zeros;
+  }
+  EXPECT_EQ(zeros, 2);
+  expect_contains_root(r, {5.0, 0.0}, 1e-10);
+}
+
+TEST(Poly, LeadingZeroCoefficientsTrimmed) {
+  // 2x - 6 padded with a numerically-zero quadratic term.
+  const auto r = la::polyroots({-6.0, 2.0, 1e-18});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0].real(), 3.0, 1e-12);
+}
+
+TEST(Poly, WidelySpreadRoots) {
+  // Poles spread over 4 decades, like a stiff RC tree's reciprocal poles.
+  const la::ComplexVector want{{-1.0, 0.0}, {-1e2, 0.0}, {-1e4, 0.0}};
+  const auto coeffs = la::poly_from_roots(want);
+  const auto r = la::polyroots(coeffs);
+  ASSERT_EQ(r.size(), 3u);
+  expect_contains_root(r, {-1.0, 0.0}, 1e-6);
+  expect_contains_root(r, {-1e2, 0.0}, 1e-4);
+  expect_contains_root(r, {-1e4, 0.0}, 1e-2);
+}
+
+TEST(Poly, ThrowsOnZeroPolynomial) {
+  EXPECT_THROW(la::polyroots({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(la::polyroots({}), std::invalid_argument);
+}
+
+TEST(Poly, FromRootsRoundTrip) {
+  const auto coeffs =
+      la::poly_from_roots({{-2.0, 0.0}, {-3.0, 4.0}, {-3.0, -4.0}});
+  // (x+2)(x^2+6x+25) = x^3 + 8x^2 + 37x + 50.
+  ASSERT_EQ(coeffs.size(), 4u);
+  EXPECT_NEAR(coeffs[0], 50.0, 1e-10);
+  EXPECT_NEAR(coeffs[1], 37.0, 1e-10);
+  EXPECT_NEAR(coeffs[2], 8.0, 1e-10);
+  EXPECT_NEAR(coeffs[3], 1.0, 1e-12);
+}

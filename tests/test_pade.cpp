@@ -1,0 +1,217 @@
+// The moment-matching solve in isolation: synthetic moment sequences with
+// known poles/residues, repeated poles, degenerate sequences, scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "core/pade.h"
+
+namespace awesim::core {
+
+namespace {
+
+using la::Complex;
+
+// Build the exact AWE moment sequence mu_{j0..j0+count-1} of a given term
+// set (the inverse problem of match_moments).
+std::vector<double> moments_of(const std::vector<PoleResidueTerm>& terms,
+                               int j0, int count) {
+  std::vector<double> mu;
+  for (int i = 0; i < count; ++i) {
+    mu.push_back(implied_moment(terms, j0 + i));
+  }
+  return mu;
+}
+
+void expect_terms_match(const std::vector<PoleResidueTerm>& got,
+                        const std::vector<PoleResidueTerm>& want,
+                        double tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& w : want) {
+    bool found = false;
+    for (const auto& g : got) {
+      if (std::abs(g.pole - w.pole) <= tol * std::abs(w.pole) &&
+          g.power == w.power &&
+          std::abs(g.residue - w.residue) <=
+              tol * std::max(1.0, std::abs(w.residue))) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "missing term with pole (" << w.pole.real() << ","
+                       << w.pole.imag() << ") power " << w.power;
+  }
+}
+
+}  // namespace
+
+TEST(Pade, RecoversSinglePole) {
+  std::vector<PoleResidueTerm> truth{{Complex(-2.0, 0.0), Complex(3.0, 0.0), 1}};
+  const auto mu = moments_of(truth, -1, 2);
+  const auto result = match_moments(mu, -1, 1);
+  ASSERT_EQ(result.order_used, 1);
+  EXPECT_TRUE(result.stable);
+  expect_terms_match(result.terms, truth, 1e-10);
+}
+
+TEST(Pade, RecoversTwoRealPoles) {
+  std::vector<PoleResidueTerm> truth{
+      {Complex(-1.0, 0.0), Complex(-5.0, 0.0), 1},
+      {Complex(-10.0, 0.0), Complex(2.0, 0.0), 1}};
+  const auto mu = moments_of(truth, -1, 4);
+  const auto result = match_moments(mu, -1, 2);
+  ASSERT_EQ(result.order_used, 2);
+  expect_terms_match(result.terms, truth, 1e-8);
+}
+
+TEST(Pade, RecoversComplexPair) {
+  std::vector<PoleResidueTerm> truth{
+      {Complex(-1.0, 3.0), Complex(0.5, -0.25), 1},
+      {Complex(-1.0, -3.0), Complex(0.5, 0.25), 1}};
+  const auto mu = moments_of(truth, -1, 4);
+  const auto result = match_moments(mu, -1, 2);
+  ASSERT_EQ(result.order_used, 2);
+  expect_terms_match(result.terms, truth, 1e-8);
+}
+
+TEST(Pade, RecoversWidelySpreadPoles) {
+  // 5 decades of pole spread: frequency scaling keeps this solvable.
+  std::vector<PoleResidueTerm> truth{
+      {Complex(-1e3, 0.0), Complex(1.0, 0.0), 1},
+      {Complex(-1e6, 0.0), Complex(-0.5, 0.0), 1},
+      {Complex(-1e8, 0.0), Complex(0.25, 0.0), 1}};
+  const auto mu = moments_of(truth, -1, 6);
+  const auto result = match_moments(mu, -1, 3);
+  ASSERT_EQ(result.order_used, 3);
+  EXPECT_TRUE(result.stable);
+  // The dominant pole must be recovered to high relative accuracy.
+  double best = 1e300;
+  for (const auto& t : result.terms) {
+    best = std::min(best, std::abs(t.pole - Complex(-1e3, 0.0)));
+  }
+  EXPECT_LT(best, 1e-3 * 1e3);
+}
+
+TEST(Pade, RepeatedPoleConfluentResidues) {
+  // (s-p)^-2 + (s-p)^-1 structure: k t e^{pt} + k2 e^{pt}.
+  std::vector<PoleResidueTerm> truth{
+      {Complex(-4.0, 0.0), Complex(2.0, 0.0), 1},
+      {Complex(-4.0, 0.0), Complex(3.0, 0.0), 2}};
+  const auto mu = moments_of(truth, -1, 4);
+  const auto result = match_moments(mu, -1, 2);
+  ASSERT_EQ(result.order_used, 2);
+  ASSERT_EQ(result.terms.size(), 2u);
+  // Both terms share the pole; powers 1 and 2 present.
+  int power_mask = 0;
+  for (const auto& t : result.terms) {
+    EXPECT_NEAR(t.pole.real(), -4.0, 1e-3);
+    power_mask |= (1 << t.power);
+  }
+  EXPECT_EQ(power_mask, 0b110);
+  // Time-domain agreement.
+  for (double t : {0.0, 0.1, 0.5, 1.0}) {
+    EXPECT_NEAR(evaluate_terms(result.terms, t), evaluate_terms(truth, t),
+                1e-6);
+  }
+}
+
+TEST(Pade, DegenerateSequenceReducesOrder) {
+  // A 1-pole sequence asked to produce 3 poles.
+  std::vector<PoleResidueTerm> truth{{Complex(-1.0, 0.0), Complex(1.0, 0.0), 1}};
+  const auto mu = moments_of(truth, -1, 6);
+  const auto result = match_moments(mu, -1, 3);
+  EXPECT_EQ(result.order_used, 1);
+  expect_terms_match(result.terms, truth, 1e-9);
+}
+
+TEST(Pade, ZeroSequenceGivesEmptyResult) {
+  const std::vector<double> mu(6, 0.0);
+  const auto result = match_moments(mu, -1, 3);
+  EXPECT_EQ(result.order_used, 0);
+  EXPECT_TRUE(result.terms.empty());
+}
+
+TEST(Pade, ScalingOffFailsOnStiffSequence) {
+  // Without frequency scaling, a stiff 4-pole sequence loses rank in
+  // double precision (the Section 3.5 motivation).  The match must not
+  // silently return garbage: it either reduces order or keeps a clean
+  // moment residual.
+  std::vector<PoleResidueTerm> truth{
+      {Complex(-1e2, 0.0), Complex(1.0, 0.0), 1},
+      {Complex(-1e4, 0.0), Complex(-0.6, 0.0), 1},
+      {Complex(-1e6, 0.0), Complex(0.4, 0.0), 1},
+      {Complex(-1e8, 0.0), Complex(-0.2, 0.0), 1}};
+  const auto mu = moments_of(truth, -1, 8);
+  MatchOptions off;
+  off.frequency_scaling = false;
+  const auto result = match_moments(mu, -1, 4, off);
+  MatchOptions on;
+  const auto scaled = match_moments(mu, -1, 4, on);
+  // Scaled version recovers the full order; unscaled loses rank earlier.
+  EXPECT_EQ(scaled.order_used, 4);
+  EXPECT_LT(result.order_used, 4);
+}
+
+TEST(Pade, MomentWindowWithSlope) {
+  // j0 = -2 window: matches derivative, initial value, and moments.
+  std::vector<PoleResidueTerm> truth{
+      {Complex(-1.0, 0.0), Complex(2.0, 0.0), 1},
+      {Complex(-7.0, 0.0), Complex(-1.0, 0.0), 1}};
+  const auto mu = moments_of(truth, -2, 4);
+  const auto result = match_moments(mu, -2, 2);
+  ASSERT_EQ(result.order_used, 2);
+  expect_terms_match(result.terms, truth, 1e-8);
+}
+
+TEST(Pade, ShiftedPoleWindowStillInterpolatesLowMoments) {
+  std::vector<PoleResidueTerm> truth{
+      {Complex(-1.0, 0.0), Complex(-2.0, 0.0), 1},
+      {Complex(-5.0, 0.0), Complex(1.0, 0.0), 1},
+      {Complex(-20.0, 0.0), Complex(0.3, 0.0), 1}};
+  // Give 2q+1 = 5 moments for a shifted q=2 match.
+  const auto mu = moments_of(truth, -1, 5);
+  MatchOptions opt;
+  opt.pole_shift = 1;
+  const auto result = match_moments(mu, -1, 2, opt);
+  ASSERT_EQ(result.order_used, 2);
+  EXPECT_EQ(result.pole_shift, 1);
+  // The residue window (mu_{-1}, mu_0) must be interpolated exactly:
+  EXPECT_NEAR(implied_moment(result.terms, -1), mu[0], 1e-9);
+  EXPECT_NEAR(implied_moment(result.terms, 0), mu[1],
+              1e-9 * std::abs(mu[1]));
+}
+
+TEST(Pade, EvaluateTermsHandlesRepeatedPolePolynomials) {
+  // k t^2/2 e^{-t}: power 3 term.
+  std::vector<PoleResidueTerm> terms{{Complex(-1.0, 0.0), Complex(4.0, 0.0), 3}};
+  EXPECT_NEAR(evaluate_terms(terms, 2.0), 4.0 * 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(evaluate_terms(terms, 0.0), 0.0, 1e-15);
+}
+
+TEST(Pade, ImpliedMomentRoundTrip) {
+  std::vector<PoleResidueTerm> terms{
+      {Complex(-3.0, 1.0), Complex(1.0, 2.0), 1},
+      {Complex(-3.0, -1.0), Complex(1.0, -2.0), 1}};
+  // mu_{-1} = -(sum k) = -2; mu_0 = -(sum k/p).
+  EXPECT_NEAR(implied_moment(terms, -1), -2.0, 1e-12);
+  const Complex p(-3.0, 1.0), k(1.0, 2.0);
+  const double expected = -(k / p + std::conj(k) / std::conj(p)).real();
+  EXPECT_NEAR(implied_moment(terms, 0), expected, 1e-12);
+}
+
+TEST(Pade, ThrowsOnBadInput) {
+  EXPECT_THROW(match_moments({1.0, 2.0}, -1, 0), std::invalid_argument);
+  EXPECT_THROW(match_moments({1.0}, -1, 1), std::invalid_argument);
+}
+
+TEST(Pade, StabilityFlagReflectsPositivePole) {
+  std::vector<PoleResidueTerm> truth{{Complex(2.0, 0.0), Complex(1.0, 0.0), 1}};
+  const auto mu = moments_of(truth, -1, 2);
+  const auto result = match_moments(mu, -1, 1);
+  ASSERT_EQ(result.order_used, 1);
+  EXPECT_FALSE(result.stable);
+  EXPECT_NEAR(result.terms[0].pole.real(), 2.0, 1e-9);
+}
+
+}  // namespace awesim::core

@@ -1,0 +1,201 @@
+// Reference transient simulator: verified against closed-form solutions
+// (it plays the role of SPICE in every figure reproduction, so its own
+// correctness is load-bearing).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.h"
+#include "circuits/paper_circuits.h"
+#include "sim/transient.h"
+
+namespace awesim {
+
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::Stimulus;
+using sim::Method;
+using sim::Probe;
+using sim::TransientOptions;
+using sim::TransientSimulator;
+
+namespace {
+
+Circuit single_rc(double r, double c, Stimulus input) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("V1", in, kGround, std::move(input));
+  ckt.add_resistor("R1", in, out, r);
+  ckt.add_capacitor("C1", out, kGround, c);
+  return ckt;
+}
+
+}  // namespace
+
+TEST(TransientSim, RcStepMatchesAnalytic) {
+  const double tau = 1e-6;
+  Circuit ckt = single_rc(1e3, 1e-9, Stimulus::step(0.0, 5.0));
+  TransientSimulator sim(ckt);
+  TransientOptions opt;
+  opt.timestep = tau / 200.0;
+  const auto wave = sim.run({ckt.find_node("out")}, 5.0 * tau, opt);
+  for (double t : {0.3 * tau, tau, 3.0 * tau}) {
+    const double exact = 5.0 * (1.0 - std::exp(-t / tau));
+    EXPECT_NEAR(wave.value_at(t), exact, 5e-3) << "t=" << t;
+  }
+}
+
+TEST(TransientSim, BackwardEulerAlsoConverges) {
+  const double tau = 1e-6;
+  Circuit ckt = single_rc(1e3, 1e-9, Stimulus::step(0.0, 5.0));
+  TransientSimulator sim(ckt);
+  TransientOptions opt;
+  opt.method = Method::BackwardEuler;
+  opt.timestep = tau / 500.0;
+  const auto wave = sim.run({ckt.find_node("out")}, 5.0 * tau, opt);
+  EXPECT_NEAR(wave.value_at(tau), 5.0 * (1.0 - std::exp(-1.0)), 2e-2);
+}
+
+TEST(TransientSim, TrapezoidalIsSecondOrderAccurate) {
+  // Error at fixed time must drop ~4x when the step halves.
+  const double tau = 1e-6;
+  Circuit ckt = single_rc(1e3, 1e-9, Stimulus::step(0.0, 1.0));
+  TransientSimulator sim(ckt);
+  const double t_obs = 2.0 * tau;
+  const double exact = 1.0 - std::exp(-t_obs / tau);
+  double errors[2];
+  int i = 0;
+  for (double steps : {100.0, 200.0}) {
+    TransientOptions opt;
+    opt.timestep = 5.0 * tau / steps;
+    opt.be_startup_steps = 1;
+    const auto wave = sim.run({ckt.find_node("out")}, 5.0 * tau, opt);
+    errors[i++] = std::abs(wave.value_at(t_obs) - exact);
+  }
+  EXPECT_LT(errors[1], errors[0] / 2.5);
+}
+
+TEST(TransientSim, RampInputFollowsParticularSolution) {
+  // Slow ramp (rise >> tau): output tracks input minus slope*tau.
+  const double tau = 1e-6;
+  Circuit ckt = single_rc(1e3, 1e-9, Stimulus::ramp_step(0.0, 5.0, 100.0 * tau));
+  TransientSimulator sim(ckt);
+  TransientOptions opt;
+  opt.timestep = tau / 10.0;
+  const auto wave = sim.run({ckt.find_node("out")}, 50.0 * tau, opt);
+  const double slope = 5.0 / (100.0 * tau);
+  const double t_obs = 30.0 * tau;  // transient fully decayed
+  EXPECT_NEAR(wave.value_at(t_obs), slope * (t_obs - tau), 1e-2);
+}
+
+TEST(TransientSim, InitialConditionDecay) {
+  // No source drive; capacitor starts at 3 V and discharges through R.
+  Circuit ckt;
+  const auto out = ckt.node("out");
+  ckt.add_resistor("R1", out, kGround, 1e3);
+  ckt.add_capacitor("C1", out, kGround, 1e-9, 3.0);
+  // A dummy grounded source reference is unnecessary; G is nonsingular.
+  TransientSimulator sim(ckt);
+  const double tau = 1e-6;
+  TransientOptions opt;
+  opt.timestep = tau / 200.0;
+  const auto wave = sim.run({out}, 5.0 * tau, opt);
+  EXPECT_NEAR(wave.values().front(), 3.0, 1e-12);
+  EXPECT_NEAR(wave.value_at(tau), 3.0 * std::exp(-1.0), 5e-3);
+}
+
+TEST(TransientSim, LcOscillatorFrequencyAndAmplitude) {
+  // Underdamped series RLC: check ring frequency and decay envelope.
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto mid = ckt.node("mid");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("V1", in, kGround, Stimulus::step(0.0, 1.0));
+  ckt.add_resistor("R1", in, mid, 0.2);
+  ckt.add_inductor("L1", mid, out, 1e-6);
+  ckt.add_capacitor("C1", out, kGround, 1e-9);
+  TransientSimulator sim(ckt);
+  const double w0 = 1.0 / std::sqrt(1e-6 * 1e-9);  // 3.16e7
+  const double alpha = 0.2 / (2.0 * 1e-6);         // 1e5
+  const double wd = std::sqrt(w0 * w0 - alpha * alpha);
+  TransientOptions opt;
+  opt.timestep = (2.0 * M_PI / w0) / 400.0;
+  const auto wave = sim.run({out}, 6.0 * 2.0 * M_PI / wd, opt);
+  // Analytic: v = 1 - e^{-alpha t} (cos wd t + alpha/wd sin wd t).
+  for (double frac : {0.25, 0.5, 1.0, 2.0}) {
+    const double t = frac * 2.0 * M_PI / wd;
+    const double exact =
+        1.0 - std::exp(-alpha * t) *
+                  (std::cos(wd * t) + alpha / wd * std::sin(wd * t));
+    EXPECT_NEAR(wave.value_at(t), exact, 2e-2) << "t=" << t;
+  }
+}
+
+TEST(TransientSim, InductorInitialCurrent) {
+  // L with I0 into an R: i(t) = I0 e^{-R t/L}; v_R = R i.
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  ckt.add_inductor("L1", a, kGround, 1e-3, 2.0);
+  ckt.add_resistor("R1", a, kGround, 10.0);
+  TransientSimulator sim(ckt);
+  const double tau = 1e-3 / 10.0;
+  TransientOptions opt;
+  opt.timestep = tau / 500.0;
+  const auto wave = sim.run({a}, 3.0 * tau, opt);
+  // Current flows pos->neg through L (a -> gnd), so it pushes a out of
+  // the resistor: v_a = -R*I0*exp(-t/tau) with these orientations.
+  EXPECT_NEAR(wave.value_at(tau), -20.0 * std::exp(-1.0), 0.15);
+}
+
+TEST(TransientSim, AdaptiveRefinementConverges) {
+  auto ckt = circuits::fig25_rlc_ladder();
+  TransientSimulator sim(ckt);
+  sim::AdaptiveOptions opt;
+  opt.tolerance = 1e-6;
+  const auto wave = sim.run_adaptive({ckt.find_node("n3")}, 20e-9, opt);
+  // Final value settles to the source level.
+  EXPECT_NEAR(wave.values().back(), 5.0, 0.05);
+  // Underdamped: must overshoot 5 V substantially at some point.
+  EXPECT_GT(wave.max_value(), 5.5);
+}
+
+TEST(TransientSim, VccsAmplifier) {
+  // VCCS driving a load resistor: v_out = -gm * R_load * v_in (inverting
+  // with current pushed out of node when v_in > 0).
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("V1", in, kGround, Stimulus::step(0.0, 1.0));
+  ckt.add_vccs("G1", out, kGround, in, kGround, 2e-3);
+  ckt.add_resistor("RL", out, kGround, 1e3);
+  ckt.add_capacitor("CL", out, kGround, 1e-12);
+  TransientSimulator sim(ckt);
+  TransientOptions opt;
+  opt.timestep = 1e-11;
+  const auto wave = sim.run({out}, 1e-8, opt);
+  EXPECT_NEAR(wave.values().back(), -2.0, 1e-3);
+}
+
+TEST(TransientSim, StimulusBreakpointLandsOnGrid) {
+  // A mid-simulation step: the jump must not be smeared more than a step.
+  Circuit ckt = single_rc(1e3, 1e-9, Stimulus::step(0.0, 5.0, 2.5e-7));
+  TransientSimulator sim(ckt);
+  TransientOptions opt;
+  opt.timestep = 1e-7;  // breakpoint 2.5e-7 is NOT a multiple of the step
+  const auto wave = sim.run({ckt.find_node("out")}, 2e-6, opt);
+  EXPECT_NEAR(wave.value_at(2.4e-7), 0.0, 1e-6);  // still quiet before
+  const double tau = 1e-6;
+  const double t = 1.5e-6;
+  const double exact = 5.0 * (1.0 - std::exp(-(t - 2.5e-7) / tau));
+  EXPECT_NEAR(wave.value_at(t), exact, 5e-2);
+}
+
+TEST(TransientSim, RejectsBadArguments) {
+  Circuit ckt = single_rc(1.0, 1.0, Stimulus::dc(1.0));
+  TransientSimulator sim(ckt);
+  EXPECT_THROW(sim.run({ckt.find_node("out")}, 0.0), std::invalid_argument);
+  EXPECT_THROW(sim.run({kGround}, 1.0), std::invalid_argument);
+}
+
+}  // namespace awesim

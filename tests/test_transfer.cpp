@@ -1,0 +1,152 @@
+// TransferModel: stimulus-independent reduced-order macromodels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/paper_circuits.h"
+#include "core/engine.h"
+#include "core/transfer.h"
+
+namespace awesim::core {
+
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::Stimulus;
+
+namespace {
+
+Circuit single_rc(double r, double c) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("V1", in, kGround, Stimulus::step(0.0, 1.0));
+  ckt.add_resistor("R1", in, out, r);
+  ckt.add_capacitor("C1", out, kGround, c);
+  return ckt;
+}
+
+}  // namespace
+
+TEST(TransferModel, SingleRcUnitStepExact) {
+  Circuit ckt = single_rc(1e3, 1e-9);
+  mna::MnaSystem mna(ckt);
+  TransferModel model(mna, "V1", ckt.find_node("out"), 1);
+  EXPECT_TRUE(model.stable());
+  EXPECT_EQ(model.order_used(), 1);
+  EXPECT_NEAR(model.dc_gain(), 1.0, 1e-12);
+  const double tau = 1e-6;
+  for (double t : {0.0, 0.3 * tau, tau, 4.0 * tau}) {
+    EXPECT_NEAR(model.unit_step(t), 1.0 - std::exp(-t / tau), 1e-9);
+  }
+  EXPECT_EQ(model.unit_step(-1.0), 0.0);
+}
+
+TEST(TransferModel, UnitRampIsIntegralOfUnitStep) {
+  Circuit ckt = single_rc(1e3, 1e-9);
+  mna::MnaSystem mna(ckt);
+  TransferModel model(mna, "V1", ckt.find_node("out"), 2);
+  // Numerical integral of unit_step vs closed-form unit_ramp.
+  const double t_end = 3e-6;
+  const int n = 20000;
+  double acc = 0.0;
+  double prev = model.unit_step(0.0);
+  for (int i = 1; i <= n; ++i) {
+    const double t = t_end * i / n;
+    const double cur = model.unit_step(t);
+    acc += 0.5 * (prev + cur) * (t_end / n);
+    prev = cur;
+    if (i % 4000 == 0) {
+      EXPECT_NEAR(model.unit_ramp(t), acc, 1e-4 * std::max(acc, 1e-12))
+          << "t=" << t;
+    }
+  }
+}
+
+TEST(TransferModel, ResponseMatchesEngineForFiniteRise) {
+  // The macromodel evaluated for a 1 ns-rise stimulus must agree with a
+  // full engine analysis of the same circuit and stimulus.
+  circuits::Drive drive;
+  drive.rise_time = 1e-9;
+  auto ckt = circuits::fig16_mos_interconnect(drive);
+  const auto out = ckt.find_node("n7");
+  mna::MnaSystem mna(ckt);
+  TransferModel model(mna, "Vin", out, 3);
+
+  core::Engine engine(ckt);
+  core::EngineOptions opt;
+  opt.order = 3;
+  const auto full = engine.approximate(out, opt);
+
+  const auto& stim = ckt.find_element("Vin")->stimulus;
+  for (double t : {0.2e-9, 0.5e-9, 1.0e-9, 2e-9, 5e-9}) {
+    EXPECT_NEAR(model.response(stim, t), full.approximation.value(t), 5e-3)
+        << "t=" << t;
+  }
+}
+
+TEST(TransferModel, ReuseAcrossRiseTimes) {
+  // One reduction, many scenarios: responses for different rise times all
+  // settle to the same final value and order by speed.
+  auto ckt = circuits::fig4_rc_tree();
+  mna::MnaSystem mna(ckt);
+  TransferModel model(mna, "Vin", ckt.find_node("n4"), 2);
+  const double t_obs = 1.0e-3;
+  double prev = 1e300;
+  for (double rise : {0.1e-3, 0.5e-3, 1.5e-3}) {
+    const auto stim = Stimulus::ramp_step(0.0, 5.0, rise);
+    const double v = model.response(stim, t_obs);
+    EXPECT_LT(v, prev);  // slower input -> lower value at fixed time
+    prev = v;
+    EXPECT_NEAR(model.response(stim, 50e-3), 5.0, 1e-6);
+  }
+}
+
+TEST(TransferModel, CurrentSourceInput) {
+  // I source into an RC: transimpedance R at DC; tau = RC.
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  ckt.add_isource("I1", kGround, a, Stimulus::step(0.0, 1e-3));
+  ckt.add_resistor("R1", a, kGround, 2e3);
+  ckt.add_capacitor("C1", a, kGround, 1e-9);
+  mna::MnaSystem mna(ckt);
+  TransferModel model(mna, "I1", a, 1);
+  EXPECT_NEAR(model.dc_gain(), 2e3, 1e-9);
+  const double tau = 2e3 * 1e-9;
+  EXPECT_NEAR(model.unit_step(tau), 2e3 * (1.0 - std::exp(-1.0)), 1e-6);
+}
+
+TEST(TransferModel, PwlTrainSuperposition) {
+  // A two-pulse train through the macromodel vs the transient engine's
+  // own analysis of the same stimulus.
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  const auto stim = Stimulus::pwl(
+      {{0.0, 0.0}, {1e-6, 1.0}, {2e-6, 1.0}, {3e-6, 0.0}, {5e-6, 0.8}});
+  ckt.add_vsource("V1", in, kGround, stim);
+  ckt.add_resistor("R1", in, out, 1e3);
+  ckt.add_capacitor("C1", out, kGround, 1e-9);
+  mna::MnaSystem mna(ckt);
+  TransferModel model(mna, "V1", out, 1);
+
+  core::Engine engine(ckt);
+  core::EngineOptions opt;
+  opt.order = 1;
+  const auto full = engine.approximate(out, opt);
+  for (double t : {0.5e-6, 1.5e-6, 2.5e-6, 4e-6, 6e-6, 10e-6}) {
+    EXPECT_NEAR(model.response(stim, t), full.approximation.value(t),
+                1e-6)
+        << "t=" << t;
+  }
+}
+
+TEST(TransferModel, Errors) {
+  Circuit ckt = single_rc(1.0, 1.0);
+  mna::MnaSystem mna(ckt);
+  EXPECT_THROW(TransferModel(mna, "nosuch", ckt.find_node("out"), 1),
+               std::invalid_argument);
+  EXPECT_THROW(TransferModel(mna, "R1", ckt.find_node("out"), 1),
+               std::invalid_argument);
+}
+
+}  // namespace awesim::core

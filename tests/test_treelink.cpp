@@ -1,0 +1,185 @@
+// Tree/link analysis (Section IV): explicit solves for RC trees, minimal
+// link systems for resistor loops, equivalence with the MNA moments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/paper_circuits.h"
+#include "core/moments.h"
+#include "mna/system.h"
+#include "rctree/rctree.h"
+#include "treelink/treelink.h"
+
+namespace awesim::treelink {
+
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::Stimulus;
+
+namespace {
+
+// MNA homogeneous moments at all nodes, for cross-checking.
+std::vector<la::RealVector> mna_moments(const Circuit& ckt, int count) {
+  mna::MnaSystem mna(ckt);
+  // Step to final source values; equilibrium start + IC overrides.
+  la::RealVector xh0(mna.dim(), 0.0);
+  const auto xb = mna.solve(mna.rhs_at(1e30));
+  const auto& x0 = mna.initial_state();
+  for (std::size_t i = 0; i < xh0.size(); ++i) xh0[i] = x0[i] - xb[i];
+  core::MomentSequence seq(mna, xh0);
+  std::vector<la::RealVector> out;
+  const std::size_t nodes = ckt.node_count() - 1;
+  for (int j = -1; j + 1 < count; ++j) {
+    la::RealVector v(nodes);
+    for (std::size_t n = 0; n < nodes; ++n) v[n] = seq.mu(j)[n];
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+void expect_moments_match(const Circuit& ckt, int count, double rel_tol) {
+  TreeLinkSystem tl(ckt);
+  const auto a = tl.moments(count);
+  const auto b = mna_moments(ckt, count);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double scale = 0.0;
+    for (const double v : b[i]) scale = std::max(scale, std::abs(v));
+    for (std::size_t n = 0; n < a[i].size(); ++n) {
+      EXPECT_NEAR(a[i][n], b[i][n], rel_tol * std::max(scale, 1e-300))
+          << "moment " << i << " node " << n;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(TreeLink, RcTreeIsFullyExplicit) {
+  auto ckt = circuits::fig4_rc_tree();
+  TreeLinkSystem tl(ckt);
+  // No resistor loops: zero unknowns, every solve is a pure tree walk.
+  EXPECT_EQ(tl.link_unknowns(), 0u);
+  expect_moments_match(ckt, 6, 1e-9);
+}
+
+TEST(TreeLink, GroundedResistorNeedsExactlyOneUnknown) {
+  // The paper's Fig. 9-11 claim: the grounded resistor forms one resistor
+  // loop, so exactly one link current must be solved for.
+  auto ckt = circuits::fig9_grounded_resistor();
+  TreeLinkSystem tl(ckt);
+  EXPECT_EQ(tl.link_unknowns(), 1u);
+  expect_moments_match(ckt, 6, 1e-9);
+}
+
+TEST(TreeLink, Fig16StiffTreeMatchesMna) {
+  auto ckt = circuits::fig16_mos_interconnect();
+  TreeLinkSystem tl(ckt);
+  EXPECT_EQ(tl.link_unknowns(), 0u);
+  expect_moments_match(ckt, 8, 1e-9);
+}
+
+TEST(TreeLink, FloatingCapacitorCircuitStillSolvable) {
+  // Fig. 22 has a floating coupling capacitor; caps are links (current
+  // sources), so the tree/link formulation handles it with the victim's
+  // leak resistor keeping the tree grounded.
+  auto ckt = circuits::fig22_floating_cap();
+  TreeLinkSystem tl(ckt);
+  expect_moments_match(ckt, 6, 1e-9);
+}
+
+TEST(TreeLink, ResistorMeshMatchesMna) {
+  // Several resistor loops: bridge-like mesh.
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto a = ckt.node("a");
+  const auto b = ckt.node("b");
+  const auto c = ckt.node("c");
+  ckt.add_vsource("V1", in, kGround, Stimulus::step(0.0, 2.0));
+  ckt.add_resistor("R1", in, a, 100.0);
+  ckt.add_resistor("R2", in, b, 150.0);
+  ckt.add_resistor("R3", a, b, 80.0);
+  ckt.add_resistor("R4", a, c, 120.0);
+  ckt.add_resistor("R5", b, c, 90.0);
+  ckt.add_resistor("R6", c, kGround, 200.0);
+  ckt.add_capacitor("C1", a, kGround, 1e-12);
+  ckt.add_capacitor("C2", b, kGround, 2e-12);
+  ckt.add_capacitor("C3", c, kGround, 1.5e-12);
+  TreeLinkSystem tl(ckt);
+  EXPECT_EQ(tl.link_unknowns(), 3u);  // 6 resistors, 3 in tree
+  expect_moments_match(ckt, 6, 1e-9);
+}
+
+TEST(TreeLink, ChargeSharingWithIcs) {
+  // Nonequilibrium ICs flow through the x0 machinery identically to MNA.
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto m = ckt.node("m");
+  const auto o = ckt.node("o");
+  ckt.add_vsource("V1", in, kGround, Stimulus::step(0.0, 5.0));
+  ckt.add_resistor("R1", in, m, 1e3);
+  ckt.add_resistor("R2", m, o, 2e3);
+  ckt.add_capacitor("C1", m, kGround, 1e-9, 2.0);
+  ckt.add_capacitor("C2", o, kGround, 1e-9);
+  expect_moments_match(ckt, 5, 1e-9);
+}
+
+TEST(TreeLink, ElmoreFromTreeLinkMatchesTreeWalk) {
+  // mu_0 / mu_{-1} must equal the rctree tree-walk Elmore delays.
+  auto tree = rctree::random_tree(25, 77);
+  auto ckt = rctree::to_circuit(tree, Stimulus::step(0.0, 1.0));
+  TreeLinkSystem tl(ckt);
+  const auto mus = tl.moments(2);
+  const auto extracted = rctree::extract(ckt);
+  ASSERT_TRUE(extracted.has_value());
+  const auto elmore = rctree::elmore_delays(*extracted);
+  for (std::size_t v = 1; v < extracted->size(); ++v) {
+    const auto node = extracted->circuit_node[v];
+    const std::size_t idx = static_cast<std::size_t>(node) - 1;
+    ASSERT_GT(mus[0][idx], 0.0);
+    EXPECT_NEAR(-mus[1][idx] / mus[0][idx], elmore[v],
+                1e-9 * elmore[v] + 1e-20)
+        << "tree node " << v;
+  }
+}
+
+TEST(TreeLink, RejectsUnsupportedElements) {
+  {
+    auto ckt = circuits::fig25_rlc_ladder();  // inductors
+    EXPECT_THROW(TreeLinkSystem{ckt}, std::invalid_argument);
+  }
+  {
+    Circuit ckt;
+    const auto a = ckt.node("a");
+    ckt.add_isource("I1", kGround, a, Stimulus::dc(1.0));
+    ckt.add_resistor("R1", a, kGround, 1.0);
+    EXPECT_THROW(TreeLinkSystem{ckt}, std::invalid_argument);
+  }
+}
+
+TEST(TreeLink, RejectsSourceLoop) {
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  ckt.add_vsource("V1", a, kGround, Stimulus::dc(1.0));
+  ckt.add_vsource("V2", a, kGround, Stimulus::dc(1.0));
+  ckt.add_resistor("R1", a, kGround, 1.0);
+  EXPECT_THROW(TreeLinkSystem{ckt}, std::invalid_argument);
+}
+
+TEST(TreeLink, RejectsFloatingSubcircuit) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto fl = ckt.node("float");
+  ckt.add_vsource("V1", in, kGround, Stimulus::step(0.0, 1.0));
+  ckt.add_capacitor("C1", in, fl, 1e-12);
+  ckt.add_capacitor("C2", fl, kGround, 1e-12);
+  EXPECT_THROW(TreeLinkSystem{ckt}, std::invalid_argument);
+}
+
+TEST(TreeLink, DcSolveArgumentValidation) {
+  auto ckt = circuits::fig4_rc_tree();
+  TreeLinkSystem tl(ckt);
+  EXPECT_THROW(tl.dc_solve({}, {5.0}), std::invalid_argument);
+  EXPECT_THROW(tl.moments(0), std::invalid_argument);
+}
+
+}  // namespace awesim::treelink

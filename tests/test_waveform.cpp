@@ -1,0 +1,102 @@
+// Waveform container and the delay/error metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "waveform/waveform.h"
+
+namespace awesim::waveform {
+
+TEST(Waveform, ConstructionValidation) {
+  EXPECT_THROW(Waveform({0.0, 1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Waveform({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(Waveform({1.0, 0.5}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Waveform, SampleCallable) {
+  const auto w = Waveform::sample([](double t) { return 2.0 * t; }, 0.0,
+                                  1.0, 11);
+  EXPECT_EQ(w.size(), 11u);
+  EXPECT_NEAR(w.values()[5], 1.0, 1e-15);
+  EXPECT_THROW(Waveform::sample([](double) { return 0.0; }, 1.0, 0.0, 5),
+               std::invalid_argument);
+}
+
+TEST(Waveform, LinearInterpolationAndClamping) {
+  const Waveform w({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  EXPECT_NEAR(w.value_at(0.25), 2.5, 1e-12);
+  EXPECT_NEAR(w.value_at(1.5), 5.0, 1e-12);
+  EXPECT_EQ(w.value_at(-1.0), 0.0);
+  EXPECT_EQ(w.value_at(9.0), 0.0);
+}
+
+TEST(Waveform, FirstCrossingRising) {
+  const Waveform w({0.0, 1.0, 2.0}, {0.0, 4.0, 8.0});
+  const auto c = w.first_crossing(2.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(*c, 0.5, 1e-12);
+  EXPECT_FALSE(w.first_crossing(9.0).has_value());
+}
+
+TEST(Waveform, CrossingsOnNonmonotone) {
+  // Up, down, up: three crossings of level 1.
+  const Waveform w({0.0, 1.0, 2.0, 3.0}, {0.0, 2.0, 0.0, 2.0});
+  const auto first = w.first_crossing(1.0);
+  const auto last = w.last_crossing(1.0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(last.has_value());
+  EXPECT_NEAR(*first, 0.5, 1e-12);
+  EXPECT_NEAR(*last, 2.5, 1e-12);
+}
+
+TEST(Waveform, Delay50OfExponential) {
+  const double tau = 2.0;
+  const auto w = Waveform::sample(
+      [&](double t) { return 5.0 * (1.0 - std::exp(-t / tau)); }, 0.0,
+      20.0, 4001);
+  const auto d = w.delay_50();
+  ASSERT_TRUE(d.has_value());
+  // v(back) isn't exactly 5, but ln(2)*tau is accurate to ~1e-3 here.
+  EXPECT_NEAR(*d, std::log(2.0) * tau, 5e-3);
+}
+
+TEST(Waveform, IntegralOfTriangle) {
+  const Waveform w({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0});
+  EXPECT_NEAR(w.integral(), 1.0, 1e-15);
+}
+
+TEST(Waveform, MinMax) {
+  const Waveform w({0.0, 1.0, 2.0}, {-3.0, 7.0, 2.0});
+  EXPECT_EQ(w.max_value(), 7.0);
+  EXPECT_EQ(w.min_value(), -3.0);
+}
+
+TEST(Waveform, L2DifferenceOfIdenticalIsZero) {
+  const auto w = Waveform::sample([](double t) { return std::sin(t); }, 0.0,
+                                  6.28, 501);
+  EXPECT_NEAR(w.l2_difference_sq(w), 0.0, 1e-15);
+}
+
+TEST(Waveform, RelativeErrorAgainstReference) {
+  // Reference: step response settling to 1; approximation off by a
+  // decaying error.  Error must be scale-invariant.
+  const auto ref = Waveform::sample(
+      [](double t) { return 1.0 - std::exp(-t); }, 0.0, 20.0, 4001);
+  const auto ok = Waveform::sample(
+      [](double t) { return 1.0 - std::exp(-t) + 0.05 * std::exp(-2.0 * t); },
+      0.0, 20.0, 4001);
+  const double err = ok.relative_error_vs(ref);
+  EXPECT_GT(err, 0.005);
+  EXPECT_LT(err, 0.2);
+  // Identical waveforms: zero.
+  EXPECT_NEAR(ref.relative_error_vs(ref), 0.0, 1e-12);
+}
+
+TEST(Waveform, EmptyBehaviour) {
+  Waveform w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_THROW(w.value_at(0.0), std::logic_error);
+  EXPECT_FALSE(w.delay_50().has_value());
+}
+
+}  // namespace awesim::waveform
