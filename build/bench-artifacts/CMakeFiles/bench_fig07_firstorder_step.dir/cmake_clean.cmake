@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_firstorder_step"
+  "../bench/bench_fig07_firstorder_step.pdb"
+  "CMakeFiles/bench_fig07_firstorder_step.dir/bench_fig07_firstorder_step.cpp.o"
+  "CMakeFiles/bench_fig07_firstorder_step.dir/bench_fig07_firstorder_step.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_firstorder_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

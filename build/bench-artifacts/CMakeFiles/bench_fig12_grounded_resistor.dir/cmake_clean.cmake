@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_grounded_resistor"
+  "../bench/bench_fig12_grounded_resistor.pdb"
+  "CMakeFiles/bench_fig12_grounded_resistor.dir/bench_fig12_grounded_resistor.cpp.o"
+  "CMakeFiles/bench_fig12_grounded_resistor.dir/bench_fig12_grounded_resistor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_grounded_resistor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

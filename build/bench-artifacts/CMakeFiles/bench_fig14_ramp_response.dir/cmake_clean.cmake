@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_ramp_response"
+  "../bench/bench_fig14_ramp_response.pdb"
+  "CMakeFiles/bench_fig14_ramp_response.dir/bench_fig14_ramp_response.cpp.o"
+  "CMakeFiles/bench_fig14_ramp_response.dir/bench_fig14_ramp_response.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ramp_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_secondorder_step"
+  "../bench/bench_fig15_secondorder_step.pdb"
+  "CMakeFiles/bench_fig15_secondorder_step.dir/bench_fig15_secondorder_step.cpp.o"
+  "CMakeFiles/bench_fig15_secondorder_step.dir/bench_fig15_secondorder_step.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_secondorder_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_18_mos_interconnect"
+  "../bench/bench_fig17_18_mos_interconnect.pdb"
+  "CMakeFiles/bench_fig17_18_mos_interconnect.dir/bench_fig17_18_mos_interconnect.cpp.o"
+  "CMakeFiles/bench_fig17_18_mos_interconnect.dir/bench_fig17_18_mos_interconnect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_18_mos_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig20_21_nonequilibrium"
+  "../bench/bench_fig20_21_nonequilibrium.pdb"
+  "CMakeFiles/bench_fig20_21_nonequilibrium.dir/bench_fig20_21_nonequilibrium.cpp.o"
+  "CMakeFiles/bench_fig20_21_nonequilibrium.dir/bench_fig20_21_nonequilibrium.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_21_nonequilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig23_24_floating_cap"
+  "../bench/bench_fig23_24_floating_cap.pdb"
+  "CMakeFiles/bench_fig23_24_floating_cap.dir/bench_fig23_24_floating_cap.cpp.o"
+  "CMakeFiles/bench_fig23_24_floating_cap.dir/bench_fig23_24_floating_cap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_24_floating_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

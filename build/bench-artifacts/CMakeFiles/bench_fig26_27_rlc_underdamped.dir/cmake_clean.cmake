@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig26_27_rlc_underdamped"
+  "../bench/bench_fig26_27_rlc_underdamped.pdb"
+  "CMakeFiles/bench_fig26_27_rlc_underdamped.dir/bench_fig26_27_rlc_underdamped.cpp.o"
+  "CMakeFiles/bench_fig26_27_rlc_underdamped.dir/bench_fig26_27_rlc_underdamped.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig26_27_rlc_underdamped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

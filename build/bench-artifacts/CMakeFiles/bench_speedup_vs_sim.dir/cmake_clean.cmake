@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_speedup_vs_sim"
+  "../bench/bench_speedup_vs_sim.pdb"
+  "CMakeFiles/bench_speedup_vs_sim.dir/bench_speedup_vs_sim.cpp.o"
+  "CMakeFiles/bench_speedup_vs_sim.dir/bench_speedup_vs_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_rctree_poles"
+  "../bench/bench_table1_rctree_poles.pdb"
+  "CMakeFiles/bench_table1_rctree_poles.dir/bench_table1_rctree_poles.cpp.o"
+  "CMakeFiles/bench_table1_rctree_poles.dir/bench_table1_rctree_poles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rctree_poles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_path_timing.dir/critical_path_timing.cpp.o"
+  "CMakeFiles/critical_path_timing.dir/critical_path_timing.cpp.o.d"
+  "critical_path_timing"
+  "critical_path_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_path_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosstalk_charge_sharing.dir/crosstalk_charge_sharing.cpp.o"
+  "CMakeFiles/crosstalk_charge_sharing.dir/crosstalk_charge_sharing.cpp.o.d"
+  "crosstalk_charge_sharing"
+  "crosstalk_charge_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosstalk_charge_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mos_interconnect_timing.dir/mos_interconnect_timing.cpp.o"
+  "CMakeFiles/mos_interconnect_timing.dir/mos_interconnect_timing.cpp.o.d"
+  "mos_interconnect_timing"
+  "mos_interconnect_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mos_interconnect_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

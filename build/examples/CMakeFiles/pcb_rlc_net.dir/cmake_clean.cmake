@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcb_rlc_net.dir/pcb_rlc_net.cpp.o"
+  "CMakeFiles/pcb_rlc_net.dir/pcb_rlc_net.cpp.o.d"
+  "pcb_rlc_net"
+  "pcb_rlc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcb_rlc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("la")
+subdirs("circuit")
+subdirs("netlist")
+subdirs("mna")
+subdirs("waveform")
+subdirs("rctree")
+subdirs("sim")
+subdirs("core")
+subdirs("circuits")
+subdirs("timing")
+subdirs("treelink")

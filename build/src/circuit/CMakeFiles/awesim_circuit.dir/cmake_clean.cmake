@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awesim_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/awesim_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/awesim_circuit.dir/waveform_spec.cpp.o"
+  "CMakeFiles/awesim_circuit.dir/waveform_spec.cpp.o.d"
+  "libawesim_circuit.a"
+  "libawesim_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awesim_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awesim_circuits.dir/paper_circuits.cpp.o"
+  "CMakeFiles/awesim_circuits.dir/paper_circuits.cpp.o.d"
+  "libawesim_circuits.a"
+  "libawesim_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awesim_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

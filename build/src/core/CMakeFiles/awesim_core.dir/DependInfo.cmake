@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/awesim_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/awesim_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/error.cpp" "src/core/CMakeFiles/awesim_core.dir/error.cpp.o" "gcc" "src/core/CMakeFiles/awesim_core.dir/error.cpp.o.d"
+  "/root/repo/src/core/moments.cpp" "src/core/CMakeFiles/awesim_core.dir/moments.cpp.o" "gcc" "src/core/CMakeFiles/awesim_core.dir/moments.cpp.o.d"
+  "/root/repo/src/core/pade.cpp" "src/core/CMakeFiles/awesim_core.dir/pade.cpp.o" "gcc" "src/core/CMakeFiles/awesim_core.dir/pade.cpp.o.d"
+  "/root/repo/src/core/transfer.cpp" "src/core/CMakeFiles/awesim_core.dir/transfer.cpp.o" "gcc" "src/core/CMakeFiles/awesim_core.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mna/CMakeFiles/awesim_mna.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/awesim_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/awesim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/awesim_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awesim_core.dir/engine.cpp.o"
+  "CMakeFiles/awesim_core.dir/engine.cpp.o.d"
+  "CMakeFiles/awesim_core.dir/error.cpp.o"
+  "CMakeFiles/awesim_core.dir/error.cpp.o.d"
+  "CMakeFiles/awesim_core.dir/moments.cpp.o"
+  "CMakeFiles/awesim_core.dir/moments.cpp.o.d"
+  "CMakeFiles/awesim_core.dir/pade.cpp.o"
+  "CMakeFiles/awesim_core.dir/pade.cpp.o.d"
+  "CMakeFiles/awesim_core.dir/transfer.cpp.o"
+  "CMakeFiles/awesim_core.dir/transfer.cpp.o.d"
+  "libawesim_core.a"
+  "libawesim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awesim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

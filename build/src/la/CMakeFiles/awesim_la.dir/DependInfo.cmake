@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/eig.cpp" "src/la/CMakeFiles/awesim_la.dir/eig.cpp.o" "gcc" "src/la/CMakeFiles/awesim_la.dir/eig.cpp.o.d"
+  "/root/repo/src/la/lu.cpp" "src/la/CMakeFiles/awesim_la.dir/lu.cpp.o" "gcc" "src/la/CMakeFiles/awesim_la.dir/lu.cpp.o.d"
+  "/root/repo/src/la/poly.cpp" "src/la/CMakeFiles/awesim_la.dir/poly.cpp.o" "gcc" "src/la/CMakeFiles/awesim_la.dir/poly.cpp.o.d"
+  "/root/repo/src/la/sparse.cpp" "src/la/CMakeFiles/awesim_la.dir/sparse.cpp.o" "gcc" "src/la/CMakeFiles/awesim_la.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awesim_la.dir/eig.cpp.o"
+  "CMakeFiles/awesim_la.dir/eig.cpp.o.d"
+  "CMakeFiles/awesim_la.dir/lu.cpp.o"
+  "CMakeFiles/awesim_la.dir/lu.cpp.o.d"
+  "CMakeFiles/awesim_la.dir/poly.cpp.o"
+  "CMakeFiles/awesim_la.dir/poly.cpp.o.d"
+  "CMakeFiles/awesim_la.dir/sparse.cpp.o"
+  "CMakeFiles/awesim_la.dir/sparse.cpp.o.d"
+  "libawesim_la.a"
+  "libawesim_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awesim_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awesim_mna.dir/system.cpp.o"
+  "CMakeFiles/awesim_mna.dir/system.cpp.o.d"
+  "libawesim_mna.a"
+  "libawesim_mna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awesim_mna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

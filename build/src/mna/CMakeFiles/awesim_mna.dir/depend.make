@@ -1,0 +1,2 @@
+# Empty dependencies file for awesim_mna.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awesim_netlist.dir/parser.cpp.o"
+  "CMakeFiles/awesim_netlist.dir/parser.cpp.o.d"
+  "libawesim_netlist.a"
+  "libawesim_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awesim_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

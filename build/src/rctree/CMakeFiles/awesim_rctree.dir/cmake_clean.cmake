@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awesim_rctree.dir/rctree.cpp.o"
+  "CMakeFiles/awesim_rctree.dir/rctree.cpp.o.d"
+  "libawesim_rctree.a"
+  "libawesim_rctree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awesim_rctree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for awesim_rctree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awesim_sim.dir/transient.cpp.o"
+  "CMakeFiles/awesim_sim.dir/transient.cpp.o.d"
+  "libawesim_sim.a"
+  "libawesim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awesim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/analyzer.cpp" "src/timing/CMakeFiles/awesim_timing.dir/analyzer.cpp.o" "gcc" "src/timing/CMakeFiles/awesim_timing.dir/analyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/awesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mna/CMakeFiles/awesim_mna.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/awesim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/awesim_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/awesim_waveform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

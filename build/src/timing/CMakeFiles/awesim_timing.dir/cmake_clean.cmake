@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awesim_timing.dir/analyzer.cpp.o"
+  "CMakeFiles/awesim_timing.dir/analyzer.cpp.o.d"
+  "libawesim_timing.a"
+  "libawesim_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awesim_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

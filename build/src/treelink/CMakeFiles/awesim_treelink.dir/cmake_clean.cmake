@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awesim_treelink.dir/treelink.cpp.o"
+  "CMakeFiles/awesim_treelink.dir/treelink.cpp.o.d"
+  "libawesim_treelink.a"
+  "libawesim_treelink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awesim_treelink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awesim_waveform.dir/waveform.cpp.o"
+  "CMakeFiles/awesim_waveform.dir/waveform.cpp.o.d"
+  "libawesim_waveform.a"
+  "libawesim_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awesim_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libawesim_waveform.a"
+)

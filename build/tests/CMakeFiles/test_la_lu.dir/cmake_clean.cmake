@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_lu.dir/test_la_lu.cpp.o"
+  "CMakeFiles/test_la_lu.dir/test_la_lu.cpp.o.d"
+  "test_la_lu"
+  "test_la_lu.pdb"
+  "test_la_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

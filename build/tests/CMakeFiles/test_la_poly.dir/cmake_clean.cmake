@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_poly.dir/test_la_poly.cpp.o"
+  "CMakeFiles/test_la_poly.dir/test_la_poly.cpp.o.d"
+  "test_la_poly"
+  "test_la_poly.pdb"
+  "test_la_poly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mna.dir/test_mna.cpp.o"
+  "CMakeFiles/test_mna.dir/test_mna.cpp.o.d"
+  "test_mna"
+  "test_mna.pdb"
+  "test_mna[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

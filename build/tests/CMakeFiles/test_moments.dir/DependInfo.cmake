@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_moments.cpp" "tests/CMakeFiles/test_moments.dir/test_moments.cpp.o" "gcc" "tests/CMakeFiles/test_moments.dir/test_moments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timing/CMakeFiles/awesim_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/treelink/CMakeFiles/awesim_treelink.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/awesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/awesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rctree/CMakeFiles/awesim_rctree.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/awesim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/awesim_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/mna/CMakeFiles/awesim_mna.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/awesim_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/awesim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/awesim_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pade.dir/test_pade.cpp.o"
+  "CMakeFiles/test_pade.dir/test_pade.cpp.o.d"
+  "test_pade"
+  "test_pade.pdb"
+  "test_pade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_treelink.dir/test_treelink.cpp.o"
+  "CMakeFiles/test_treelink.dir/test_treelink.cpp.o.d"
+  "test_treelink"
+  "test_treelink.pdb"
+  "test_treelink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_treelink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

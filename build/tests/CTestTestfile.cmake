@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_la_lu[1]_include.cmake")
+include("/root/repo/build/tests/test_la_eig[1]_include.cmake")
+include("/root/repo/build/tests/test_la_poly[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_pade[1]_include.cmake")
+include("/root/repo/build/tests/test_error[1]_include.cmake")
+include("/root/repo/build/tests/test_moments[1]_include.cmake")
+include("/root/repo/build/tests/test_mna[1]_include.cmake")
+include("/root/repo/build/tests/test_rctree[1]_include.cmake")
+include("/root/repo/build/tests/test_la_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_la_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_waveform[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_treelink[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_validation[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist_files[1]_include.cmake")
