@@ -1,0 +1,225 @@
+// Batch multi-output AWE and the parallel timing wavefront.
+//
+// The paper's central cost argument (Fig. 19) is that one LU
+// factorization amortizes over 2q-1 forward/back substitutions.  The
+// batch API extends the same amortization across observation points: the
+// atom problems and full-state moment vectors are output-independent, so
+// a 32-sink net needs the circuit-level work once and only the q x q
+// Hankel/root/Vandermonde match per sink.  This bench demonstrates:
+//
+//   * >= 3x speedup of one Engine::approximate_all over 32 per-output
+//     pipelines (fresh Engine + approximate per sink), with the Stats
+//     counters showing where the work went;
+//   * the levelized timing analyzer's parallel wavefront against the
+//     serial walk (threads = 1), with identical reports.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "circuit/circuit.h"
+#include "core/engine.h"
+#include "core/parallel.h"
+#include "timing/analyzer.h"
+
+using namespace awesim;
+
+namespace {
+
+constexpr std::size_t kSinks = 32;
+
+// A 32-sink interconnect comb: a resistive spine with one RC branch and
+// one loaded sink tap per section -- the multi-sink net shape a clock or
+// high-fanout signal distribution produces.
+circuit::Circuit comb_net(std::vector<circuit::NodeId>& sinks) {
+  circuit::Circuit ckt;
+  const auto vin = ckt.node("in");
+  ckt.add_vsource("Vdrv", vin, circuit::kGround,
+                  circuit::Stimulus::ramp_step(0.0, 5.0, 0.1e-9));
+  auto spine = ckt.node("s0");
+  ckt.add_resistor("Rdrv", vin, spine, 200.0);
+  for (std::size_t i = 0; i < kSinks; ++i) {
+    const std::string tag = std::to_string(i);
+    const auto next = ckt.node("s" + std::to_string(i + 1));
+    ckt.add_resistor("Rs" + tag, spine, next, 40.0);
+    ckt.add_capacitor("Cs" + tag, next, circuit::kGround, 8e-15);
+    const auto sink = ckt.node("t" + tag);
+    ckt.add_resistor("Rt" + tag, next, sink, 120.0);
+    ckt.add_capacitor("Ct" + tag, sink, circuit::kGround, 12e-15);
+    sinks.push_back(sink);
+    spine = next;
+  }
+  return ckt;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+// A wide gate-level design: `chains` parallel 4-stage chains fanning out
+// of one root driver, so every wavefront past the first holds `chains`
+// independent stages.
+timing::Design wide_design(std::size_t chains) {
+  timing::Design d;
+  d.add_gate({"root", 500.0, 4e-15, 0.0});
+  d.set_primary_input("root");
+  timing::Net fan;
+  fan.name = "fanout";
+  fan.parasitics = {{timing::NetElement::Kind::Resistor, "DRV", "h", 150.0},
+                    {timing::NetElement::Kind::Capacitor, "h", "0", 20e-15}};
+  for (std::size_t c = 0; c < chains; ++c) {
+    fan.sink_node["g" + std::to_string(c) + "_0"] = "h";
+  }
+  for (std::size_t c = 0; c < chains; ++c) {
+    for (int s = 0; s < 4; ++s) {
+      const std::string name =
+          "g" + std::to_string(c) + "_" + std::to_string(s);
+      d.add_gate({name, 800.0 + 60.0 * static_cast<double>(c), 5e-15,
+                  5e-12});
+      if (s > 0) {
+        timing::Net net;
+        net.name = name + "_in";
+        net.parasitics = {
+            {timing::NetElement::Kind::Resistor, "DRV", "w",
+             300.0 + 25.0 * static_cast<double>(s)},
+            {timing::NetElement::Kind::Capacitor, "w", "0", 30e-15}};
+        net.sink_node[name] = "w";
+        d.add_net("g" + std::to_string(c) + "_" + std::to_string(s - 1),
+                  net);
+      }
+    }
+  }
+  d.add_net("root", fan);
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("BATCH MULTI-SINK",
+                      "one LU + moment set amortized over 32 sinks, and "
+                      "the parallel timing wavefront");
+
+  core::EngineOptions eopt;
+  eopt.order = 3;
+
+  // Warm up allocators/caches once so the timed loops compare fairly.
+  {
+    std::vector<circuit::NodeId> sinks;
+    auto ckt = comb_net(sinks);
+    core::Engine warm(ckt);
+    (void)warm.approximate(sinks.front(), eopt);
+  }
+
+  // --- Per-output baseline: a fresh pipeline per sink, i.e. what a
+  // caller without the batch API pays (LU + particular solutions +
+  // moment recursion re-done 32 times).
+  constexpr int kRepeats = 20;
+  double t_single = 1e300;
+  core::Stats single_stats;
+  std::vector<core::Result> single_results;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    std::vector<circuit::NodeId> sinks;
+    auto ckt = comb_net(sinks);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<core::Result> results;
+    core::Stats stats;
+    for (const auto sink : sinks) {
+      core::Engine engine(ckt);
+      results.push_back(engine.approximate(sink, eopt));
+      stats += engine.stats();
+    }
+    const double dt = seconds_since(t0);
+    if (dt < t_single) {
+      t_single = dt;
+      single_stats = stats;
+      single_results = std::move(results);
+    }
+  }
+
+  // --- Batch: one engine, one approximate_all over all 32 sinks.
+  double t_batch = 1e300;
+  core::Stats batch_stats;
+  std::vector<core::Result> batch_results;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    std::vector<circuit::NodeId> sinks;
+    auto ckt = comb_net(sinks);
+    const auto t0 = std::chrono::steady_clock::now();
+    core::Engine engine(ckt);
+    auto batch = engine.approximate_all(sinks, eopt);
+    const double dt = seconds_since(t0);
+    if (dt < t_batch) {
+      t_batch = dt;
+      batch_stats = batch.stats;
+      batch_results = std::move(batch.results);
+    }
+  }
+
+  double max_dev = 0.0;
+  for (std::size_t i = 0; i < kSinks; ++i) {
+    const auto& a = single_results[i].approximation;
+    const auto& b = batch_results[i].approximation;
+    for (int k = 0; k <= 50; ++k) {
+      const double t = 2e-9 * k / 50.0;
+      max_dev = std::max(max_dev, std::abs(a.value(t) - b.value(t)));
+    }
+  }
+
+  std::printf("\n[32-sink comb net, q=%d]\n", eopt.order);
+  bench::print_metric("32 per-output pipelines", t_single * 1e3, "ms");
+  std::printf("    %s\n", single_stats.summary().c_str());
+  bench::print_metric("one approximate_all batch", t_batch * 1e3, "ms");
+  std::printf("    %s\n", batch_stats.summary().c_str());
+  bench::print_metric("speedup (>= 3 required)", t_single / t_batch, "x");
+  bench::print_metric("max |batch - per-output| over waveforms", max_dev,
+                      "V");
+
+  // --- Parallel analyzer: serial walk vs one thread per core.
+  const std::size_t chains = 16;
+  timing::Design design = wide_design(chains);
+  timing::AnalysisOptions serial_opt;
+  serial_opt.threads = 1;
+  timing::AnalysisOptions parallel_opt;
+  parallel_opt.threads = 0;  // hardware
+
+  // Warm-up + reference run.
+  auto serial = design.analyze(serial_opt);
+  double t_serial = 1e300;
+  double t_parallel = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    auto s = design.analyze(serial_opt);
+    t_serial = std::min(t_serial, s.wall_seconds);
+    auto p = design.analyze(parallel_opt);
+    t_parallel = std::min(t_parallel, p.wall_seconds);
+    if (rep == 0) {
+      const bool same =
+          s.critical_delay == p.critical_delay &&
+          s.gate_arrival == p.gate_arrival &&
+          s.critical_path == p.critical_path;
+      bench::print_metric("parallel == serial report", same ? 1.0 : 0.0);
+    }
+  }
+
+  std::printf("\n[timing wavefront, %zu chains x 4 stages, %zu levels]\n",
+              chains, serial.levels);
+  bench::print_metric("stages", static_cast<double>(serial.stages.size()));
+  std::printf("    %s\n", serial.awe_stats.summary().c_str());
+  bench::print_metric("serial walk (threads=1)", t_serial * 1e3, "ms");
+  bench::print_metric(
+      "parallel wavefront (threads=" +
+          std::to_string(core::ThreadPool::hardware_threads()) + ")",
+      t_parallel * 1e3, "ms");
+  bench::print_metric("analyzer speedup", t_serial / t_parallel, "x");
+
+  const bool ok = t_single / t_batch >= 3.0 && max_dev == 0.0;
+  std::printf("\n%s\n", ok ? "PASS: batch speedup >= 3x with identical "
+                             "waveforms"
+                           : "FAIL: batch speedup below 3x or waveforms "
+                             "deviate");
+  return ok ? 0 : 1;
+}

@@ -136,13 +136,20 @@ waveform::Waveform Approximation::sample(double t0, double t1,
 Engine::Engine(const circuit::Circuit& ckt, mna::Options mna)
     : mna_(ckt, mna) {}
 
+const la::RealVector& Engine::equilibrium() {
+  // Equilibrium at the initial source values: the operating point the
+  // stimulus perturbs.  One substitution, shared by every output (timed
+  // by the callers' setup timers).
+  if (!x_eq_) x_eq_ = mna_.solve(mna_.rhs_initial());
+  return *x_eq_;
+}
+
 std::vector<Engine::AtomProblem>& Engine::atom_problems() {
   if (atoms_built_) return atoms_;
+  ScopedTimer timer(stats_.seconds_setup);
   const std::size_t n = mna_.dim();
 
-  // Equilibrium at the initial source values: the operating point the
-  // stimulus perturbs.
-  const la::RealVector x_eq = mna_.solve(mna_.rhs_initial());
+  const la::RealVector& x_eq = equilibrium();
   const la::RealVector& x0 = mna_.initial_state();
 
   // Atom at t=0 carries the initial-condition deviation plus any stimulus
@@ -199,8 +206,64 @@ Result Engine::approximate(circuit::NodeId output,
     throw std::invalid_argument("Engine: order >= 1 required");
   }
   const std::size_t out = mna_.node_index(output);
+  Result result = approximate_at(out, options);
+  sync_mna_stats();
+  return result;
+}
+
+BatchResult Engine::approximate_all(
+    std::span<const circuit::NodeId> outputs,
+    const EngineOptions& options) {
+  if (options.order < 1) {
+    throw std::invalid_argument("Engine: order >= 1 required");
+  }
+  std::vector<std::size_t> indices;
+  indices.reserve(outputs.size());
+  for (const auto output : outputs) {
+    indices.push_back(mna_.node_index(output));
+  }
+
+  sync_mna_stats();
+  const Stats before = stats_;
+
+  // Build the output-independent work up front: the atom problems (one
+  // LU of G, particular solutions) and the full-state moment vectors the
+  // initial order needs, advanced across all atoms as one multi-RHS
+  // block.  Auto-order escalation beyond this window extends lazily.
   auto& atoms = atom_problems();
-  const la::RealVector x_eq = mna_.solve(mna_.rhs_initial());
+  {
+    ScopedTimer timer(stats_.seconds_moments);
+    const int j0 = options.match_initial_slope ? -2 : -1;
+    const int mu_count =
+        options.estimate_error ? 2 * (options.order + 1) + 1
+                               : 2 * options.order + 1;
+    std::vector<MomentSequence*> sequences;
+    sequences.reserve(atoms.size());
+    for (auto& atom : atoms) sequences.push_back(&atom.moments);
+    MomentSequence::ensure_all(sequences, j0 + mu_count - 1);
+  }
+
+  BatchResult batch;
+  batch.results.reserve(indices.size());
+  for (const std::size_t out : indices) {
+    batch.results.push_back(approximate_at(out, options));
+  }
+  sync_mna_stats();
+  batch.stats = stats_ - before;
+  return batch;
+}
+
+void Engine::sync_mna_stats() {
+  // The MNA counters are cumulative; mirror them into the engine stats.
+  const mna::SolveStats& s = mna_.solve_stats();
+  stats_.factorizations = s.factorizations;
+  stats_.substitutions = s.substitutions;
+}
+
+Result Engine::approximate_at(std::size_t out,
+                              const EngineOptions& options) {
+  auto& atoms = atom_problems();
+  const la::RealVector& x_eq = equilibrium();
 
   const int j0 = options.match_initial_slope ? -2 : -1;
 
@@ -226,13 +289,16 @@ Result Engine::approximate(circuit::NodeId output,
       const int mu_count =
           options.estimate_error ? 2 * (q + 1) + 1 : 2 * q + 1;
       std::vector<double> mu;
-      for (int j = j0; j < j0 + mu_count; ++j) {
-        double v = problem.moments.mu(j, out);
-        if (j == -1 && options.jump_consistent &&
-            problem.moments.has_jump(out)) {
-          v = -problem.moments.consistent_initial_value()[out];
+      {
+        ScopedTimer timer(stats_.seconds_moments);
+        for (int j = j0; j < j0 + mu_count; ++j) {
+          double v = problem.moments.mu(j, out);
+          if (j == -1 && options.jump_consistent &&
+              problem.moments.has_jump(out)) {
+            v = -problem.moments.consistent_initial_value()[out];
+          }
+          mu.push_back(v);
         }
-        mu.push_back(v);
       }
 
       MatchOptions mopt = options.match;
@@ -240,13 +306,16 @@ Result Engine::approximate(circuit::NodeId output,
       // Match at order qq, retrying with the shifted pole window if the
       // eq. 24 window produces an unstable model (Section 3.3 fallback).
       auto stable_match = [&](int qq) {
+        ScopedTimer timer(stats_.seconds_match);
         MatchOptions local = mopt;
         local.pole_shift = 0;
         std::vector<double> window(mu.begin(), mu.begin() + 2 * qq);
+        ++stats_.matches;
         MatchResult m = match_moments(window, j0, qq, local);
         if (!m.stable && options.allow_window_shift) {
           local.pole_shift = 1;
           std::vector<double> wider(mu.begin(), mu.begin() + 2 * qq + 1);
+          ++stats_.matches;
           MatchResult shifted = match_moments(wider, j0, qq, local);
           if (shifted.stable) return shifted;
         }
@@ -293,6 +362,7 @@ Result Engine::approximate(circuit::NodeId output,
     if (good || q >= options.max_order) break;
     ++q;
   }
+  ++stats_.outputs;
   return result;
 }
 

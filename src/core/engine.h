@@ -15,12 +15,14 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "circuit/circuit.h"
 #include "core/moments.h"
 #include "core/pade.h"
+#include "core/stats.h"
 #include "mna/system.h"
 #include "waveform/waveform.h"
 
@@ -137,12 +139,35 @@ struct Result {
   bool used_gmin = false;
 };
 
+/// The result of one approximate_all call: per-output approximations in
+/// request order plus the shared cost diagnostics of the whole batch.
+struct BatchResult {
+  std::vector<Result> results;
+
+  /// Engine-phase counters for this batch only (the circuit-level work
+  /// -- LU factorization, particular solutions, moment vectors -- is
+  /// done once and shared by every output).
+  Stats stats;
+};
+
 class Engine {
  public:
   explicit Engine(const circuit::Circuit& ckt, mna::Options mna = {});
 
   /// Approximate the voltage at `output` (a non-ground node).
   Result approximate(circuit::NodeId output, const EngineOptions& options);
+
+  /// Approximate several outputs of the same circuit at once.  The atom
+  /// problems and full-state moment vectors are output-independent, so
+  /// they are built exactly once (one LU factorization, one multi-RHS
+  /// moment recursion); per output only the cheap Hankel/root/
+  /// Vandermonde match runs.  Results are bitwise identical to calling
+  /// approximate() per output, in request order.
+  BatchResult approximate_all(std::span<const circuit::NodeId> outputs,
+                              const EngineOptions& options);
+
+  /// Cumulative cost counters over the life of this engine.
+  const Stats& stats() const { return stats_; }
 
   /// The circuit's exact natural frequencies (dense eigenvalue solve;
   /// for Tables I/II style comparisons, not for the timing path).
@@ -164,10 +189,15 @@ class Engine {
   };
 
   std::vector<AtomProblem>& atom_problems();
+  const la::RealVector& equilibrium();
+  Result approximate_at(std::size_t out, const EngineOptions& options);
+  void sync_mna_stats();
 
   mna::MnaSystem mna_;
   std::vector<AtomProblem> atoms_;
   bool atoms_built_ = false;
+  std::optional<la::RealVector> x_eq_;
+  Stats stats_;
 };
 
 }  // namespace awesim::core

@@ -58,6 +58,45 @@ const la::RealVector& MomentSequence::mu(int j) {
   return positive_[static_cast<std::size_t>(j)];
 }
 
+void MomentSequence::ensure(int j_max) {
+  if (j_max >= 0) mu(j_max);
+}
+
+void MomentSequence::ensure_all(
+    const std::vector<MomentSequence*>& sequences, int j_max) {
+  if (j_max < 0 || sequences.empty()) return;
+  const mna::MnaSystem* mna = sequences.front()->mna_;
+  for (const auto* s : sequences) {
+    if (s->mna_ != mna) {
+      throw std::invalid_argument(
+          "MomentSequence::ensure_all: sequences span different systems");
+    }
+  }
+  const std::size_t want = static_cast<std::size_t>(j_max) + 1;
+  for (;;) {
+    // One lock-step round: every sequence still short of j_max
+    // contributes the RHS of its next moment.
+    std::vector<MomentSequence*> pending;
+    std::vector<la::RealVector> rhs;
+    for (auto* s : sequences) {
+      if (s->positive_.size() >= want) continue;
+      const la::RealVector& prev =
+          s->positive_.empty() ? s->x_h0_ : s->positive_.back();
+      pending.push_back(s);
+      rhs.push_back(mna->apply_C(prev));
+    }
+    if (pending.empty()) break;
+    std::vector<la::RealVector> solved = mna->solve_multi(rhs);
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      la::RealVector next = std::move(solved[k]);
+      if (!pending[k]->positive_.empty()) {
+        for (auto& v : next) v = -v;
+      }
+      pending[k]->positive_.push_back(std::move(next));
+    }
+  }
+}
+
 la::RealVector MomentSequence::sigma_limit(int derivative_order) {
   // Evaluate f(sigma) = sigma (G + sigma C)^{-1} C x_h0 -> x_h(0+), and
   // g(sigma) = sigma (f(sigma) - x_h(0+)) -> x_h'(0+), with one Richardson

@@ -44,6 +44,20 @@ class MomentSequence {
   /// Scalar moment at one unknown index.
   double mu(int j, std::size_t index) { return mu(j)[index]; }
 
+  /// Pre-compute every positive moment up to and including mu_{j_max}
+  /// (no-op for j_max < 0).
+  void ensure(int j_max);
+
+  /// Advance several sequences that share one MnaSystem in lock step:
+  /// at each moment order the pending right-hand sides of all sequences
+  /// are solved as one multi-RHS block against the single cached LU of
+  /// G.  Values are bitwise identical to growing each sequence lazily;
+  /// this is the batch engine's "build the full-state moment vectors
+  /// once" path.  Throws std::invalid_argument if the sequences do not
+  /// all reference the same system.
+  static void ensure_all(const std::vector<MomentSequence*>& sequences,
+                         int j_max);
+
   /// The consistent transient initial value x_h(0+), equal to x_h0 except
   /// when the stimulus forces an instantaneous (capacitive) jump.
   /// Computed once by Richardson-extrapolated evaluation of

@@ -1,0 +1,50 @@
+#include "core/stats.h"
+
+#include <cstdio>
+
+namespace awesim::core {
+
+Stats& Stats::operator+=(const Stats& other) {
+  factorizations += other.factorizations;
+  substitutions += other.substitutions;
+  matches += other.matches;
+  outputs += other.outputs;
+  stages += other.stages;
+  seconds_setup += other.seconds_setup;
+  seconds_moments += other.seconds_moments;
+  seconds_match += other.seconds_match;
+  return *this;
+}
+
+Stats& Stats::operator-=(const Stats& other) {
+  factorizations -= other.factorizations;
+  substitutions -= other.substitutions;
+  matches -= other.matches;
+  outputs -= other.outputs;
+  stages -= other.stages;
+  seconds_setup -= other.seconds_setup;
+  seconds_moments -= other.seconds_moments;
+  seconds_match -= other.seconds_match;
+  return *this;
+}
+
+Stats operator+(Stats a, const Stats& b) { return a += b; }
+Stats operator-(Stats a, const Stats& b) { return a -= b; }
+
+std::string Stats::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%llu LU, %llu subst, %llu matches, %llu outputs, "
+                "%llu stages | setup %.3g ms, moments %.3g ms, "
+                "match %.3g ms",
+                static_cast<unsigned long long>(factorizations),
+                static_cast<unsigned long long>(substitutions),
+                static_cast<unsigned long long>(matches),
+                static_cast<unsigned long long>(outputs),
+                static_cast<unsigned long long>(stages),
+                seconds_setup * 1e3, seconds_moments * 1e3,
+                seconds_match * 1e3);
+  return buf;
+}
+
+}  // namespace awesim::core

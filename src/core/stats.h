@@ -1,0 +1,70 @@
+// Lightweight cost counters for the AWE pipeline.
+//
+// The paper's Fig. 19 argument is entirely about *where the work goes*:
+// one LU factorization amortized over 2q-1 forward/back substitutions,
+// then a tiny q x q match per observation point.  Stats makes that
+// observable: the engine counts factorizations, substitutions, and
+// moment matches and times each phase, and the timing analyzer sums the
+// per-stage stats in a fixed order so parallel runs report identical
+// numbers.  Counters are plain integers -- a Stats instance (like the
+// Engine that fills it) belongs to one thread; aggregate across threads
+// by merging per-thread instances with operator+=.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace awesim::core {
+
+struct Stats {
+  /// LU factorizations of (G + aC), all shifts included.
+  std::uint64_t factorizations = 0;
+
+  /// Forward/back substitutions with the cached factorization of G
+  /// (moment recursion, particular solutions, equilibrium solves).
+  std::uint64_t substitutions = 0;
+
+  /// Hankel/root/Vandermonde moment matches (match_moments calls).
+  std::uint64_t matches = 0;
+
+  /// Output nodes approximated (one per Result produced).
+  std::uint64_t outputs = 0;
+
+  /// Timing stages evaluated (filled by timing::Design::analyze).
+  std::uint64_t stages = 0;
+
+  /// Wall time per phase, in seconds.
+  double seconds_setup = 0.0;    // atom building: LU + particular solutions
+  double seconds_moments = 0.0;  // moment recursion and gathering
+  double seconds_match = 0.0;    // per-output pole/residue matching
+
+  Stats& operator+=(const Stats& other);
+  Stats& operator-=(const Stats& other);
+
+  /// One-line human-readable rendering, for benches and reports.
+  std::string summary() const;
+};
+
+Stats operator+(Stats a, const Stats& b);
+Stats operator-(Stats a, const Stats& b);
+
+/// Adds the elapsed wall time to a Stats seconds field on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& target)
+      : target_(target), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    target_ += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double& target_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace awesim::core

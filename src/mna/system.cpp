@@ -267,6 +267,7 @@ Solver MnaSystem::factor(double shift) const {
   };
 
   auto build = [&](double gmin) -> Solver {
+    ++solve_stats_.factorizations;
     const la::SparseMatrix m = assemble(gmin);
     if (uses_sparse()) {
       return Solver(la::SparseLu(m));
@@ -293,7 +294,16 @@ la::RealVector MnaSystem::solve(const la::RealVector& rhs) const {
   if (!g_solver_) {
     g_solver_ = std::make_unique<Solver>(factor(0.0));
   }
+  ++solve_stats_.substitutions;
   return g_solver_->solve(rhs);
+}
+
+std::vector<la::RealVector> MnaSystem::solve_multi(
+    const std::vector<la::RealVector>& rhs) const {
+  std::vector<la::RealVector> solutions;
+  solutions.reserve(rhs.size());
+  for (const auto& b : rhs) solutions.push_back(solve(b));
+  return solutions;
 }
 
 const Solver& MnaSystem::shifted(double a) const {

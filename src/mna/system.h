@@ -46,6 +46,16 @@ struct Options {
   std::size_t sparse_threshold = 192;
 };
 
+/// Cumulative solver-cost counters of one MnaSystem (one thread owns a
+/// system, so these are plain integers; see core::Stats for aggregation
+/// across threads).  Substitutions count solves against the cached
+/// factorization of G -- the AWE hot path the paper's Fig. 19 argument
+/// amortizes -- not shifted-system solves.
+struct SolveStats {
+  std::size_t factorizations = 0;
+  std::size_t substitutions = 0;
+};
+
 /// One merged stimulus breakpoint: at `time`, the MNA right-hand side
 /// jumps by `value_jump` and its slope changes by `slope_change`.
 struct SourceEvent {
@@ -127,6 +137,16 @@ class MnaSystem {
   /// Solve G x = rhs reusing the cached factorization of G.
   la::RealVector solve(const la::RealVector& rhs) const;
 
+  /// Solve G X = RHS for a block of right-hand sides with one cached
+  /// factorization (the paper's "factor once, substitute 2q-1 times"
+  /// pattern generalized across atoms).  Results are per-vector
+  /// identical to calling solve() on each column in order.
+  std::vector<la::RealVector> solve_multi(
+      const std::vector<la::RealVector>& rhs) const;
+
+  /// Cumulative factorization/substitution counts for this system.
+  const SolveStats& solve_stats() const { return solve_stats_; }
+
   /// Factored (G + a*C); cached per coefficient.  Used by the transient
   /// simulator's companion models (a = 1/h or 2/h) and by the
   /// sigma-limit initial-value computations (a = sigma).
@@ -160,6 +180,7 @@ class MnaSystem {
   mutable std::unique_ptr<Solver> g_solver_;
   mutable std::map<double, std::unique_ptr<Solver>> shifted_;
   mutable bool used_gmin_ = false;
+  mutable SolveStats solve_stats_;
 };
 
 }  // namespace awesim::mna

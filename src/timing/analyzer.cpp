@@ -1,10 +1,13 @@
 #include "timing/analyzer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <queue>
+#include <optional>
 #include <set>
 #include <stdexcept>
+
+#include "core/parallel.h"
 
 namespace awesim::timing {
 
@@ -87,10 +90,81 @@ StageCircuit build_stage(const Gate& driver, const Net& net,
   return sc;
 }
 
+// One stage evaluated in isolation: everything here is thread-local
+// (the stage circuit, MNA system, and engine are built fresh), so
+// stages of one wavefront can run concurrently.
+struct StageOutcome {
+  StageTiming timing;
+  core::Stats stats;
+};
+
+StageOutcome evaluate_stage(const Gate& driver, const Net& net,
+                            const std::map<std::string, Gate>& gates,
+                            const AnalysisOptions& options, double t_in,
+                            double in_slew) {
+  StageOutcome outcome;
+  StageTiming& st = outcome.timing;
+  st.driver_gate = driver.name;
+  st.net = net.name;
+  st.input_arrival = t_in;
+
+  StageCircuit sc = build_stage(driver, net, gates, options.swing,
+                                in_slew);
+  core::Engine engine(sc.ckt);
+  core::EngineOptions eopt;
+  eopt.order = options.order;
+  eopt.auto_order = true;
+  eopt.error_tolerance = 0.01;
+  eopt.max_order = std::max(options.order + 2, 6);
+
+  // Sink order: sc.sink_nodes is a std::map, so sinks come out sorted
+  // by name -- part of the determinism contract.
+  std::vector<std::string> sink_names;
+  std::vector<circuit::NodeId> sink_nodes;
+  sink_names.reserve(sc.sink_nodes.size());
+  sink_nodes.reserve(sc.sink_nodes.size());
+  for (const auto& [sink, node] : sc.sink_nodes) {
+    sink_names.push_back(sink);
+    sink_nodes.push_back(node);
+  }
+
+  // One batch solve for the whole net: the LU factorization and moment
+  // vectors are shared; each sink costs only its moment match.
+  const core::BatchResult batch = engine.approximate_all(sink_nodes, eopt);
+  for (std::size_t i = 0; i < sink_names.size(); ++i) {
+    const core::Result& result = batch.results[i];
+    st.awe_order_used = std::max(st.awe_order_used, result.order_used);
+    // Horizon: generous multiple of the slowest time constant plus the
+    // input slew.
+    const double tau = result.approximation.dominant_time_constant();
+    const double horizon = 12.0 * tau + 3.0 * in_slew + 1e-15;
+    const double v_th = options.swing * options.delay_threshold_fraction;
+    const double v_lo = options.swing * options.slew_low_fraction;
+    const double v_hi = options.swing * options.slew_high_fraction;
+    const auto t_th =
+        result.approximation.first_crossing(v_th, 0.0, horizon);
+    const auto t_lo =
+        result.approximation.first_crossing(v_lo, 0.0, horizon);
+    const auto t_hi =
+        result.approximation.first_crossing(v_hi, 0.0, horizon);
+    SinkTiming sink_t;
+    sink_t.gate = sink_names[i];
+    sink_t.stage_delay = driver.intrinsic_delay + t_th.value_or(horizon);
+    sink_t.slew = (t_hi && t_lo) ? *t_hi - *t_lo : horizon;
+    sink_t.arrival = t_in + sink_t.stage_delay;
+    st.sinks.push_back(std::move(sink_t));
+  }
+  outcome.stats = batch.stats;
+  outcome.stats.stages = 1;
+  return outcome;
+}
+
 }  // namespace
 
 TimingReport Design::analyze(const AnalysisOptions& options) const {
-  // Topological order over gates: a net's sinks depend on its driver.
+  const auto t_start = std::chrono::steady_clock::now();
+
+  // Stage dependency bookkeeping: a net's sinks depend on its driver.
   std::map<std::string, std::vector<const NetInstance*>> driven_by;
   std::map<std::string, int> fanin_count;
   for (const auto& [name, gate] : gates_) fanin_count[name] = 0;
@@ -104,121 +178,123 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
   std::map<std::string, double> arrival;
   std::map<std::string, double> slew;
   std::map<std::string, std::string> predecessor;
-  std::queue<std::string> ready;
-  for (const auto& pi : primary_inputs_) {
-    arrival[pi] = 0.0;
-    slew[pi] = options.input_slew;
-    ready.push(pi);
+
+  // Kahn levelization into wavefronts.  Wave 0 holds the sources:
+  // declared primary inputs (whose stage inputs are pinned to t = 0 even
+  // if something drives them) and gates with no fan-in (conservative
+  // t = 0 default).  Every other gate lands one wave past its last
+  // driver, so when a wave is evaluated all of its drivers' arrivals and
+  // slews are final.  Waves are name-sorted for deterministic reduction.
+  std::map<std::string, int> remaining = fanin_count;
+  for (const auto& pi : primary_inputs_) remaining[pi] = 0;
+  std::vector<std::vector<std::string>> waves;
+  std::size_t leveled = 0;
+  {
+    std::vector<std::string> frontier;
+    for (const auto& [name, count] : remaining) {
+      if (count == 0) frontier.push_back(name);
+    }
+    while (!frontier.empty()) {
+      leveled += frontier.size();
+      std::set<std::string> next;
+      for (const auto& gate_name : frontier) {
+        const auto it = driven_by.find(gate_name);
+        if (it == driven_by.end()) continue;
+        for (const NetInstance* ni : it->second) {
+          for (const auto& [sink, node] : ni->net.sink_node) {
+            if (gates_.count(sink) > 0 && --remaining[sink] == 0) {
+              next.insert(sink);
+            }
+          }
+        }
+      }
+      waves.push_back(std::move(frontier));
+      frontier.assign(next.begin(), next.end());
+    }
   }
-  // Gates with no fan-in that are not declared primary inputs also start
-  // at t = 0 (conservative default).
-  for (const auto& [name, count] : fanin_count) {
-    if (count == 0 && arrival.count(name) == 0) {
+  if (leveled < gates_.size()) {
+    // Some gate never became ready: combinational cycle (or a sink whose
+    // fan-in never resolves).
+    throw std::invalid_argument(
+        "Design: combinational cycle or unreachable gates detected");
+  }
+
+  // Wave-0 gates switch at t = 0 with the primary-input slew.
+  if (!waves.empty()) {
+    for (const auto& name : waves.front()) {
       arrival[name] = 0.0;
       slew[name] = options.input_slew;
-      ready.push(name);
     }
   }
 
   TimingReport report;
-  std::set<std::string> processed;
-  while (!ready.empty()) {
-    const std::string gate_name = ready.front();
-    ready.pop();
-    if (!processed.insert(gate_name).second) continue;
-    const Gate& driver = gates_.at(gate_name);
-    const double t_in = arrival.at(gate_name);
-    const double in_slew = slew.at(gate_name);
+  report.levels = waves.size();
 
-    auto it = driven_by.find(gate_name);
-    if (it == driven_by.end()) continue;  // endpoint gate
-    for (const NetInstance* ni : it->second) {
-      StageTiming st;
-      st.driver_gate = gate_name;
-      st.net = ni->net.name;
-      st.input_arrival = t_in;
+  struct StageJob {
+    const NetInstance* net = nullptr;
+    const Gate* driver = nullptr;
+    double t_in = 0.0;
+    double in_slew = 0.0;
+  };
+  struct Endpoint {
+    double arrival = 0.0;
+    std::string sink;
+    std::string driver;
+  };
+  std::optional<Endpoint> best_endpoint;
 
-      StageCircuit sc = build_stage(driver, ni->net, gates_,
-                                    options.swing, in_slew);
-      core::Engine engine(sc.ckt);
-      core::EngineOptions eopt;
-      eopt.order = options.order;
-      eopt.auto_order = true;
-      eopt.error_tolerance = 0.01;
-      eopt.max_order = std::max(options.order + 2, 6);
+  core::ThreadPool pool(
+      static_cast<std::size_t>(std::max(0, options.threads)));
 
-      for (const auto& [sink, node] : sc.sink_nodes) {
-        const auto result = engine.approximate(node, eopt);
-        st.awe_order_used =
-            std::max(st.awe_order_used, result.order_used);
-        // Horizon: generous multiple of the slowest time constant plus
-        // the input slew.
-        const double tau = result.approximation.dominant_time_constant();
-        const double horizon = 12.0 * tau + 3.0 * in_slew + 1e-15;
-        const double v_th = options.swing * options.delay_threshold_fraction;
-        const double v_lo = options.swing * options.slew_low_fraction;
-        const double v_hi = options.swing * options.slew_high_fraction;
-        const auto t_th =
-            result.approximation.first_crossing(v_th, 0.0, horizon);
-        const auto t_lo =
-            result.approximation.first_crossing(v_lo, 0.0, horizon);
-        const auto t_hi =
-            result.approximation.first_crossing(v_hi, 0.0, horizon);
-        SinkTiming sink_t;
-        sink_t.gate = sink;
-        sink_t.stage_delay =
-            driver.intrinsic_delay + t_th.value_or(horizon);
-        sink_t.slew = (t_hi && t_lo) ? *t_hi - *t_lo : horizon;
-        sink_t.arrival = t_in + sink_t.stage_delay;
-        st.sinks.push_back(sink_t);
+  for (const auto& wave : waves) {
+    // Gather this wavefront's stages; all inputs are final.
+    std::vector<StageJob> jobs;
+    for (const auto& gate_name : wave) {
+      const auto it = driven_by.find(gate_name);
+      if (it == driven_by.end()) continue;  // endpoint gate
+      for (const NetInstance* ni : it->second) {
+        jobs.push_back({ni, &gates_.at(gate_name), arrival.at(gate_name),
+                        slew.at(gate_name)});
+      }
+    }
+    if (jobs.empty()) continue;
 
-        if (gates_.count(sink) > 0) {
-          const bool improves = arrival.count(sink) == 0 ||
-                                sink_t.arrival > arrival[sink];
+    // Evaluate concurrently into per-stage slots...
+    std::vector<StageOutcome> outcomes(jobs.size());
+    pool.parallel_for(jobs.size(), [&](std::size_t i) {
+      const StageJob& job = jobs[i];
+      outcomes[i] = evaluate_stage(*job.driver, job.net->net, gates_,
+                                   options, job.t_in, job.in_slew);
+    });
+
+    // ... then reduce serially in job order, so arrivals, predecessor
+    // choices, and stats sums are identical for every thread count.
+    for (auto& outcome : outcomes) {
+      report.awe_stats += outcome.stats;
+      StageTiming& st = outcome.timing;
+      for (const auto& sink_t : st.sinks) {
+        if (gates_.count(sink_t.gate) > 0) {
+          const bool improves = arrival.count(sink_t.gate) == 0 ||
+                                sink_t.arrival > arrival[sink_t.gate];
           if (improves) {
-            arrival[sink] = sink_t.arrival;
-            slew[sink] = sink_t.slew;
-            predecessor[sink] = gate_name;
+            arrival[sink_t.gate] = sink_t.arrival;
+            slew[sink_t.gate] = sink_t.slew;
+            predecessor[sink_t.gate] = st.driver_gate;
           }
-          if (--fanin_count[sink] == 0) ready.push(sink);
-        } else {
+        } else if (!best_endpoint ||
+                   sink_t.arrival > best_endpoint->arrival) {
           // Design output endpoint.
-          if (sink_t.arrival > report.critical_delay) {
-            report.critical_delay = sink_t.arrival;
-            // Reconstruct the path below once all arrivals are final.
-            report.critical_path.clear();
-            report.critical_path.push_back(sink);
-            std::string back = gate_name;
-            while (true) {
-              report.critical_path.push_back(back);
-              const auto pit = predecessor.find(back);
-              if (pit == predecessor.end()) break;
-              back = pit->second;
-            }
-            std::reverse(report.critical_path.begin(),
-                         report.critical_path.end());
-          }
+          best_endpoint = Endpoint{sink_t.arrival, sink_t.gate,
+                                   st.driver_gate};
         }
       }
       report.stages.push_back(std::move(st));
     }
   }
 
-  if (processed.size() < gates_.size()) {
-    // Some gate never became ready: combinational cycle (or a sink whose
-    // fan-in never resolves).
-    throw std::invalid_argument(
-        "Design: combinational cycle or unreachable gates detected");
-  }
   report.gate_arrival = arrival;
-  // If no design-output endpoint was seen, the critical path ends at the
-  // latest-arriving gate input.
-  if (report.critical_path.empty() && !arrival.empty()) {
-    const auto worst = std::max_element(
-        arrival.begin(), arrival.end(),
-        [](const auto& a, const auto& b) { return a.second < b.second; });
-    report.critical_delay = worst->second;
-    std::string back = worst->first;
+  auto trace_path = [&](const std::string& from) {
+    std::string back = from;
     while (true) {
       report.critical_path.push_back(back);
       const auto pit = predecessor.find(back);
@@ -226,7 +302,24 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
       back = pit->second;
     }
     std::reverse(report.critical_path.begin(), report.critical_path.end());
+  };
+  if (best_endpoint) {
+    report.critical_delay = best_endpoint->arrival;
+    report.critical_path.push_back(best_endpoint->sink);
+    trace_path(best_endpoint->driver);
+  } else if (!arrival.empty()) {
+    // No design-output endpoint: the critical path ends at the
+    // latest-arriving gate input.
+    const auto worst = std::max_element(
+        arrival.begin(), arrival.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    report.critical_delay = worst->second;
+    trace_path(worst->first);
   }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
   return report;
 }
 

@@ -13,13 +13,21 @@
 //     per sink;
 //   * the Design wires gate outputs to nets and net sinks to gate inputs.
 //
-// Analysis walks the stages in topological order.  For every stage it
-// builds the stage circuit -- driver resistance, interconnect, sink input
-// capacitances -- applies a finite-slew ramp at the driver (the slew
-// propagated from the previous stage, Section 4.3's ramp handling), runs
-// AWE at the configured order, and extracts per-sink delay (threshold
-// crossing) and output slew (20%-80%).  Arrival times and the critical
-// path fall out of the graph traversal.
+// Analysis levelizes the stage DAG into Kahn wavefronts: level 0 holds
+// the primary-input gates, and every other gate sits one past its
+// latest-level driver.  All stages of one wavefront are independent --
+// their drivers' arrivals and slews are final -- so they are evaluated
+// concurrently on a fixed-size thread pool, each stage building its own
+// circuit -- driver resistance, interconnect, sink input capacitances --
+// applying a finite-slew ramp at the driver (the slew propagated from
+// the previous stage, Section 4.3's ramp handling), running one batch
+// AWE solve over all of the net's sinks (Engine::approximate_all: one LU
+// and moment set per net, one cheap match per sink), and extracting
+// per-sink delay (threshold crossing) and output slew (20%-80%).
+// Results land in per-stage slots and are reduced serially in a fixed
+// order (gates by name within a level, nets in insertion order, sinks by
+// name), so arrival times, the critical path, and the stage list are
+// identical for every thread count.
 #pragma once
 
 #include <map>
@@ -29,6 +37,7 @@
 
 #include "circuit/circuit.h"
 #include "core/engine.h"
+#include "core/stats.h"
 
 namespace awesim::timing {
 
@@ -69,6 +78,11 @@ struct AnalysisOptions {
 
   /// Slew of the primary-input transition.
   double input_slew = 0.1e-9;
+
+  /// Worker threads for stage evaluation: 1 runs the serial walk inline,
+  /// 0 uses one thread per hardware core.  The report is bit-identical
+  /// for every value (levelized wavefronts, fixed reduction order).
+  int threads = 0;
 };
 
 struct SinkTiming {
@@ -93,6 +107,16 @@ struct TimingReport {
   /// Latest-arriving endpoint and the chain of gates leading to it.
   double critical_delay = 0.0;
   std::vector<std::string> critical_path;
+
+  /// Number of Kahn wavefronts the stage DAG levelized into.
+  std::size_t levels = 0;
+
+  /// AWE cost counters summed over all stages in deterministic stage
+  /// order (factorizations, substitutions, matches, per-phase time).
+  core::Stats awe_stats;
+
+  /// End-to-end wall time of analyze().
+  double wall_seconds = 0.0;
 };
 
 /// A gate-level design: gates plus nets connecting them.

@@ -1,0 +1,120 @@
+// End-to-end coverage of the confluent-Vandermonde repeated-root path
+// (eq. 26-29 of the paper) from the engine: a critically damped series
+// RLC has an exactly repeated natural frequency, so the eq. 25 root
+// solve must cluster the double root and the residue solve must produce
+// a t*exp(pt) term.  Until now only the distinct-root eq. 20 solve was
+// exercised through the engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.h"
+#include "core/engine.h"
+
+namespace awesim {
+
+namespace {
+
+// Series RLC, critically damped: R = 2*sqrt(L/C), double pole at
+// p = -R/(2L).  With L = 1 uH, C = 1 pF: R = 2 kOhm, p = -1e9 rad/s.
+// Unit step at the input; the capacitor voltage is
+//   v(t) = 1 - (1 + w t) e^{-w t},  w = 1e9.
+constexpr double kOmega = 1e9;
+
+circuit::Circuit critically_damped_rlc() {
+  circuit::Circuit ckt;
+  const auto vin = ckt.node("in");
+  const auto mid = ckt.node("mid");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("Vin", vin, circuit::kGround,
+                  circuit::Stimulus::step(0.0, 1.0));
+  ckt.add_resistor("R1", vin, mid, 2e3);
+  ckt.add_inductor("L1", mid, out, 1e-6);
+  ckt.add_capacitor("C1", out, circuit::kGround, 1e-12);
+  return ckt;
+}
+
+double exact_value(double t) {
+  return 1.0 - (1.0 + kOmega * t) * std::exp(-kOmega * t);
+}
+
+}  // namespace
+
+TEST(RepeatedRoot, CriticallyDampedRlcTakesConfluentPath) {
+  auto ckt = critically_damped_rlc();
+  core::Engine engine(ckt);
+  core::EngineOptions options;
+  options.order = 2;
+  const auto r = engine.approximate(ckt.find_node("out"), options);
+
+  EXPECT_TRUE(r.stable);
+  EXPECT_EQ(r.order_used, 2);
+
+  // One stimulus atom (plus the terms-free base pseudo-atom).
+  ASSERT_EQ(r.approximation.atoms().size(), 2u);
+  const auto& terms = r.approximation.atoms()[1].terms;
+  ASSERT_EQ(terms.size(), 2u);
+
+  // The double root must be clustered: same pole, powers 1 and 2.
+  int max_power = 0;
+  for (const auto& term : terms) {
+    max_power = std::max(max_power, term.power);
+    EXPECT_NEAR(term.pole.real(), -kOmega, 1e-3 * kOmega);
+    EXPECT_NEAR(term.pole.imag(), 0.0, 1e-3 * kOmega);
+  }
+  EXPECT_EQ(max_power, 2);
+  EXPECT_EQ(terms[0].pole, terms[1].pole);
+
+  // The confluent residue solve must reproduce the closed form
+  // 1 - (1 + wt) e^{-wt} over the whole transient.
+  for (int i = 0; i <= 50; ++i) {
+    const double t = 8e-9 * i / 50.0;
+    EXPECT_NEAR(r.approximation.value(t), exact_value(t), 2e-6)
+        << "t=" << t;
+  }
+  EXPECT_NEAR(r.approximation.final_value(), 1.0, 1e-9);
+}
+
+TEST(RepeatedRoot, ErrorEstimateSeesExactModel) {
+  // A 2-pole circuit matched at q=2: the q=3 reference collapses to the
+  // same model, so the eq. 39 estimate is (numerically) zero.
+  auto ckt = critically_damped_rlc();
+  core::Engine engine(ckt);
+  core::EngineOptions options;
+  options.order = 2;
+  const auto r = engine.approximate(ckt.find_node("out"), options);
+  if (!std::isnan(r.error_estimate)) {
+    EXPECT_LT(r.error_estimate, 1e-6);
+  }
+}
+
+TEST(RepeatedRoot, BatchPathMatchesSingle) {
+  // The repeated-root match must behave identically through the batch
+  // API (same confluent solve per output).
+  auto ckt = critically_damped_rlc();
+  const circuit::NodeId outs[] = {ckt.find_node("mid"),
+                                  ckt.find_node("out")};
+  core::EngineOptions options;
+  options.order = 2;
+
+  core::Engine batch_engine(ckt);
+  const auto batch = batch_engine.approximate_all(outs, options);
+  core::Engine ref_engine(ckt);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto ref = ref_engine.approximate(outs[i], options);
+    ASSERT_EQ(batch.results[i].approximation.atoms().size(),
+              ref.approximation.atoms().size());
+    for (std::size_t a = 0; a < ref.approximation.atoms().size(); ++a) {
+      const auto& ta = batch.results[i].approximation.atoms()[a].terms;
+      const auto& tb = ref.approximation.atoms()[a].terms;
+      ASSERT_EQ(ta.size(), tb.size());
+      for (std::size_t k = 0; k < ta.size(); ++k) {
+        EXPECT_EQ(ta[k].pole, tb[k].pole);
+        EXPECT_EQ(ta[k].residue, tb[k].residue);
+        EXPECT_EQ(ta[k].power, tb[k].power);
+      }
+    }
+  }
+}
+
+}  // namespace awesim
