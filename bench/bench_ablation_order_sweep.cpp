@@ -35,6 +35,7 @@ void sweep(circuit::Circuit& ckt, const char* node, const char* name,
   for (int q = 1; q <= max_q; ++q) {
     core::EngineOptions opt;
     opt.order = q;
+    opt.degrade = false;  // the sweep reports raw per-order stability
     const auto r = engine.approximate(out, opt);
     core::EngineOptions copt = opt;
     copt.cauchy_error_bound = true;

@@ -1,0 +1,4 @@
+* engineering suffix that does not exist
+V1 in 0 DC 1
+R1 in out 2.2q
+C1 out 0 1p

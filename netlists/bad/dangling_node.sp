@@ -1,0 +1,5 @@
+* .ic names a node no element touches
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1p
+.ic v(phantom)=2.5

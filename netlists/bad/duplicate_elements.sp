@@ -1,0 +1,5 @@
+* the same resistor pasted twice
+V1 in 0 DC 1
+R1 in out 1k
+R1 in out 2k
+C1 out 0 1p

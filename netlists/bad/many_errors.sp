@@ -1,0 +1,8 @@
+* many independent mistakes; every one must be reported in one pass
+R1 a 0
+C1 a 0 10zz
+V1 a 0 WIGGLE(1 2)
+R2 a b 1k
+.option foo
+X1 a b nosuch
+C2 b 0 1p

@@ -1,0 +1,4 @@
++ 1k this continuation has no card to continue
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1p

@@ -1,0 +1,4 @@
+* resistor card cut short mid-edit
+V1 in 0 DC 1
+R1 in out
+C1 out 0 1p

@@ -1,0 +1,5 @@
+* an unsupported simulator directive
+.option reltol=1e-4
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1p

@@ -1,0 +1,4 @@
+* a BJT card in an RLC-only netlist
+V1 in 0 DC 1
+Q1 in out base 2N2222
+C1 out 0 1p

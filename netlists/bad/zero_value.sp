@@ -1,0 +1,4 @@
+* zero-valued parts are structurally singular
+V1 in 0 DC 1
+R1 in out 0
+C1 out 0 0

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/error.h"
+#include "core/fault.h"
 
 namespace awesim::core {
 
@@ -13,7 +14,39 @@ namespace {
 
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 
+bool finite_terms(const std::vector<PoleResidueTerm>& terms) {
+  for (const auto& t : terms) {
+    if (!std::isfinite(t.pole.real()) || !std::isfinite(t.pole.imag()) ||
+        !std::isfinite(t.residue.real()) ||
+        !std::isfinite(t.residue.imag())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// A match the pipeline can hand out: stable, finite, and not an empty
+// term set standing in for a transient that is actually there (total
+// Hankel rank collapse leaves order_used == 0 with nonzero moments).
+bool usable_match(const MatchResult& m, bool has_transient) {
+  if (!m.stable) return false;
+  if (!finite_terms(m.terms)) return false;
+  if (m.terms.empty() && has_transient) return false;
+  return true;
+}
+
 }  // namespace
+
+const char* to_string(ApproxStatus status) {
+  switch (status) {
+    case ApproxStatus::Ok: return "ok";
+    case ApproxStatus::WindowShifted: return "window-shifted";
+    case ApproxStatus::OrderReduced: return "order-reduced";
+    case ApproxStatus::ElmoreFallback: return "elmore-fallback";
+    case ApproxStatus::Failed: return "failed";
+  }
+  return "unknown";
+}
 
 double Approximation::value(double t) const {
   double v = 0.0;
@@ -260,18 +293,203 @@ void Engine::sync_mna_stats() {
   stats_.substitutions = s.substitutions;
 }
 
+MatchResult Engine::attempt_order(const std::vector<double>& mu, int j0,
+                                  int qq, const EngineOptions& options,
+                                  core::Diagnostics* diags) {
+  ScopedTimer timer(stats_.seconds_match);
+  MatchOptions local = options.match;
+  local.frequency_scaling = options.frequency_scaling;
+  local.pole_shift = 0;
+  std::vector<double> window(mu.begin(), mu.begin() + 2 * qq);
+  ++stats_.matches;
+  MatchResult m = match_moments(window, j0, qq, local);
+  if (fault_at("engine.unstable", std::to_string(qq))) {
+    m.stable = false;
+    if (diags) {
+      Diagnostic d;
+      d.code = DiagCode::InjectedFault;
+      d.message = "forced eq. 24 match unstable at q=" +
+                  std::to_string(qq);
+      diags->push_back(std::move(d));
+    }
+  }
+  if (!m.terms.empty() &&
+      fault_at("engine.residue", std::to_string(qq))) {
+    m.terms.front().residue = la::Complex(kNan, 0.0);
+    if (diags) {
+      Diagnostic d;
+      d.code = DiagCode::InjectedFault;
+      d.message = "injected NaN residue at q=" + std::to_string(qq);
+      diags->push_back(std::move(d));
+    }
+  }
+  if (!finite_terms(m.terms)) m.stable = false;
+  if (!m.stable && options.allow_window_shift) {
+    // Section 3.3 fallback: retry with the pole window shifted to pure
+    // moments before giving up on this order.
+    local.pole_shift = 1;
+    std::vector<double> wider(mu.begin(), mu.begin() + 2 * qq + 1);
+    ++stats_.matches;
+    MatchResult shifted = match_moments(wider, j0, qq, local);
+    if (fault_at("engine.shift", std::to_string(qq))) {
+      shifted.stable = false;
+      if (diags) {
+        Diagnostic d;
+        d.code = DiagCode::InjectedFault;
+        d.message = "forced shifted-window match unstable at q=" +
+                    std::to_string(qq);
+        diags->push_back(std::move(d));
+      }
+    }
+    if (shifted.stable && finite_terms(shifted.terms)) return shifted;
+  }
+  return m;
+}
+
+Engine::LadderOutcome Engine::match_with_ladder(
+    const std::vector<double>& mu, int j0, int q,
+    const EngineOptions& options, bool allow_degrade,
+    const std::string& node_name, core::Diagnostics* diags) {
+  LadderOutcome out;
+
+  bool moments_finite = true;
+  double max_mu = 0.0;
+  for (const double v : mu) {
+    if (!std::isfinite(v)) moments_finite = false;
+    max_mu = std::max(max_mu, std::abs(v));
+  }
+  // NaN moments count as "transient present": something is there, we just
+  // cannot see it.
+  const bool has_transient = max_mu > 0.0 || !moments_finite;
+
+  auto note = [&](DiagCode code, Severity severity, std::string message,
+                  double condition = -1.0) {
+    if (!diags) return;
+    Diagnostic d;
+    d.code = code;
+    d.severity = severity;
+    d.message = std::move(message);
+    d.node = node_name;
+    d.condition_estimate = condition;
+    diags->push_back(std::move(d));
+  };
+
+  if (moments_finite) {
+    // Rung 1+2: the eq. 24 window, with the Section 3.3 shifted-window
+    // retry built into attempt_order.
+    out.match = attempt_order(mu, j0, q, options, diags);
+    if (usable_match(out.match, has_transient)) {
+      if (out.match.pole_shift == 1) {
+        out.status = ApproxStatus::WindowShifted;
+        note(DiagCode::WindowShifted, Severity::Info,
+             "eq. 24 window unstable at q=" + std::to_string(q) +
+                 "; Section 3.3 shifted window engaged");
+      } else if (out.match.order_used > 0 &&
+                 out.match.order_used < out.match.order_requested) {
+        // The Hankel solve itself reduced the order (rank/conditioning):
+        // a clean exact reduction, recorded but not a degradation.
+        note(DiagCode::OrderReduced, Severity::Info,
+             "Hankel conditioning reduced order from " +
+                 std::to_string(out.match.order_requested) + " to " +
+                 std::to_string(out.match.order_used),
+             out.match.rejected_pivot_growth);
+      }
+      return out;
+    }
+    if (!allow_degrade) return out;  // caller escalates or wants raw output
+
+    note(DiagCode::UnstablePoles, Severity::Warning,
+         "no stable model at q=" + std::to_string(q) +
+             " (eq. 24 and shifted windows); walking the ladder down");
+
+    // Rung 3: step the order down q-1, ..., 1.  q=1 through the match is
+    // the exact Elmore (Penfield-Rubinstein) reduction.
+    for (int qq = q - 1; qq >= 1; --qq) {
+      MatchResult lower = attempt_order(mu, j0, qq, options, diags);
+      if (usable_match(lower, has_transient)) {
+        out.match = std::move(lower);
+        out.status = ApproxStatus::OrderReduced;
+        note(DiagCode::OrderReduced, Severity::Warning,
+             "order stepped down from " + std::to_string(q) + " to " +
+                 std::to_string(qq) + " for a stable model",
+             out.match.rejected_pivot_growth);
+        return out;
+      }
+    }
+  } else {
+    note(DiagCode::NonFiniteValue, Severity::Error,
+         "non-finite moments; no window is matchable");
+    if (!allow_degrade) {
+      out.match.stable = false;
+      return out;
+    }
+  }
+
+  // Rung 4: the flagged Elmore bound, built directly from mu_{-1} and
+  // mu_0 without a Hankel solve (so it survives injected or genuine
+  // match failures at every order).
+  const std::size_t i_m1 = static_cast<std::size_t>(-1 - j0);
+  const std::size_t i_0 = static_cast<std::size_t>(-j0);
+  const double mu_m1 = mu[i_m1];
+  const double mu_0 = mu[i_0];
+  if (has_transient && std::isfinite(mu_m1) && std::isfinite(mu_0) &&
+      mu_m1 != 0.0 && mu_0 != 0.0) {
+    const double pole = mu_m1 / mu_0;
+    if (std::isfinite(pole) && pole < 0.0) {
+      out.match = MatchResult{};
+      out.match.order_requested = q;
+      out.match.order_used = 1;
+      out.match.stable = true;
+      out.match.terms = {{la::Complex(pole, 0.0),
+                          la::Complex(-mu_m1, 0.0), 1}};
+      out.status = ApproxStatus::ElmoreFallback;
+      note(DiagCode::ElmoreFallback, Severity::Warning,
+           "degraded to the single-pole Elmore bound (tau=" +
+               std::to_string(-1.0 / pole) + "s)");
+      return out;
+    }
+  }
+
+  // Rung 5: nothing left -- answer with the affine (DC) part alone and
+  // flag the output as failed.
+  out.match = MatchResult{};
+  out.match.order_requested = q;
+  out.match.order_used = 0;
+  out.match.stable = true;  // an empty term set is trivially stable
+  out.status = ApproxStatus::Failed;
+  note(DiagCode::NonFiniteValue, Severity::Error,
+       "no transient model obtainable; answering with the DC/affine part "
+       "only");
+  return out;
+}
+
 Result Engine::approximate_at(std::size_t out,
                               const EngineOptions& options) {
   auto& atoms = atom_problems();
   const la::RealVector& x_eq = equilibrium();
 
   const int j0 = options.match_initial_slope ? -2 : -1;
+  const std::string node_name =
+      out + 1 < mna_.circuit().node_count()
+          ? mna_.circuit().node_name(static_cast<circuit::NodeId>(out) + 1)
+          : "#" + std::to_string(out);
 
   int q = options.order;
   Result result;
   while (true) {
+    // Degradation only engages once order escalation (if available) is
+    // exhausted; earlier auto-order passes keep the paper's "instability
+    // forces escalation" rule intact.
+    const bool last_chance = !options.auto_order ||
+                             !options.estimate_error ||
+                             q >= options.max_order;
+    const bool allow_degrade = options.degrade && last_chance;
+
     result = Result{};
     result.used_gmin = mna_.used_gmin();
+    for (const auto& d : mna_.diagnostics()) {
+      result.diagnostics.push_back(d);
+    }
 
     // Base pseudo-atom: the pre-stimulus operating point.
     AtomApproximation base;
@@ -300,30 +518,19 @@ Result Engine::approximate_at(std::size_t out,
           mu.push_back(v);
         }
       }
+      if (fault_at("engine.moments", node_name)) {
+        for (double& v : mu) v = kNan;
+        Diagnostic d;
+        d.code = DiagCode::InjectedFault;
+        d.message = "replaced moment window with NaN";
+        d.node = node_name;
+        result.diagnostics.push_back(std::move(d));
+      }
 
-      MatchOptions mopt = options.match;
-      mopt.frequency_scaling = options.frequency_scaling;
-      // Match at order qq, retrying with the shifted pole window if the
-      // eq. 24 window produces an unstable model (Section 3.3 fallback).
-      auto stable_match = [&](int qq) {
-        ScopedTimer timer(stats_.seconds_match);
-        MatchOptions local = mopt;
-        local.pole_shift = 0;
-        std::vector<double> window(mu.begin(), mu.begin() + 2 * qq);
-        ++stats_.matches;
-        MatchResult m = match_moments(window, j0, qq, local);
-        if (!m.stable && options.allow_window_shift) {
-          local.pole_shift = 1;
-          std::vector<double> wider(mu.begin(), mu.begin() + 2 * qq + 1);
-          ++stats_.matches;
-          MatchResult shifted = match_moments(wider, j0, qq, local);
-          if (shifted.stable) return shifted;
-        }
-        return m;
-      };
-      MatchResult match = stable_match(q);
-      MatchResult ref;
-      if (options.estimate_error) ref = stable_match(q + 1);
+      LadderOutcome ladder =
+          match_with_ladder(mu, j0, q, options, allow_degrade, node_name,
+                            &result.diagnostics);
+      MatchResult& match = ladder.match;
 
       AtomApproximation atom;
       atom.start_time = problem.start_time;
@@ -335,8 +542,19 @@ Result Engine::approximate_at(std::size_t out,
 
       result.order_used = std::max(result.order_used, match.order_used);
       if (!match.stable) all_stable = false;
+      if (ladder.status > result.status) result.status = ladder.status;
+      switch (ladder.status) {
+        case ApproxStatus::WindowShifted: ++stats_.window_shifts; break;
+        case ApproxStatus::OrderReduced: ++stats_.order_stepdowns; break;
+        case ApproxStatus::ElmoreFallback: ++stats_.elmore_fallbacks; break;
+        default: break;
+      }
 
-      if (options.estimate_error && !match.terms.empty()) {
+      if (options.estimate_error &&
+          ladder.status <= ApproxStatus::OrderReduced &&
+          !match.terms.empty()) {
+        const MatchResult ref =
+            attempt_order(mu, j0, q + 1, options, nullptr);
         const double err =
             options.cauchy_error_bound
                 ? cauchy_relative_error(ref.terms, match.terms)
@@ -346,6 +564,10 @@ Result Engine::approximate_at(std::size_t out,
         } else if (!std::isnan(worst_error)) {
           worst_error = std::max(worst_error, err);
         }
+      } else if (options.estimate_error &&
+                 ladder.status >= ApproxStatus::ElmoreFallback) {
+        // Degraded bounds carry no q-vs-(q+1) accuracy statement.
+        worst_error = kNan;
       }
       if (first_atom) {
         result.output_moments.assign(mu.begin(), mu.end());
@@ -361,6 +583,12 @@ Result Engine::approximate_at(std::size_t out,
                       worst_error <= options.error_tolerance;
     if (good || q >= options.max_order) break;
     ++q;
+  }
+  if (result.status == ApproxStatus::OrderReduced ||
+      result.status == ApproxStatus::ElmoreFallback) {
+    ++stats_.degradations;
+  } else if (result.status == ApproxStatus::Failed) {
+    ++stats_.failures;
   }
   ++stats_.outputs;
   return result;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "core/diagnostic.h"
 #include "core/moments.h"
 #include "core/pade.h"
 #include "core/stats.h"
@@ -65,8 +66,29 @@ struct EngineOptions {
   /// Result::error_estimate is NaN and auto_order is unavailable.
   bool estimate_error = true;
 
+  /// Walk the degradation ladder instead of returning an unstable model:
+  /// when the eq. 24 window and the Section 3.3 shifted window both fail
+  /// (and auto-order escalation, if enabled, is exhausted), step the
+  /// order down q-1, ..., 1 and finally fall back to the flagged Elmore
+  /// bound.  Result::status records how far down the ladder the answer
+  /// came from.  Disable to study raw instability (the Fig. 20/21
+  /// benches).
+  bool degrade = true;
+
   MatchOptions match;
 };
+
+/// How far down the degradation ladder a Result had to go.  Ordered by
+/// increasing severity; a multi-atom result reports its worst rung.
+enum class ApproxStatus {
+  Ok = 0,          // matched at the requested (or auto-escalated) order
+  WindowShifted,   // Section 3.3 shifted pole window engaged
+  OrderReduced,    // stepped down below the requested order for stability
+  ElmoreFallback,  // answered with the flagged single-pole Elmore bound
+  Failed,          // no transient model at all; affine (DC) part only
+};
+
+const char* to_string(ApproxStatus status);
 
 /// The q-pole response model of one stimulus atom starting at
 /// `start_time`: for t >= start_time (local time T = t - start_time),
@@ -137,6 +159,14 @@ struct Result {
 
   /// True if the gmin floating-node fallback engaged.
   bool used_gmin = false;
+
+  /// Worst degradation-ladder rung over all atoms of this output.
+  ApproxStatus status = ApproxStatus::Ok;
+
+  /// Structured record of every fallback that fired for this output
+  /// (window shifts, order step-downs, Elmore/gmin fallbacks, injected
+  /// faults), in the order they were met.
+  core::Diagnostics diagnostics;
 };
 
 /// The result of one approximate_all call: per-output approximations in
@@ -188,9 +218,22 @@ class Engine {
     MomentSequence moments;
   };
 
+  struct LadderOutcome {
+    MatchResult match;
+    ApproxStatus status = ApproxStatus::Ok;
+  };
+
   std::vector<AtomProblem>& atom_problems();
   const la::RealVector& equilibrium();
   Result approximate_at(std::size_t out, const EngineOptions& options);
+  MatchResult attempt_order(const std::vector<double>& mu, int j0, int qq,
+                            const EngineOptions& options,
+                            core::Diagnostics* diags);
+  LadderOutcome match_with_ladder(const std::vector<double>& mu, int j0,
+                                  int q, const EngineOptions& options,
+                                  bool allow_degrade,
+                                  const std::string& node_name,
+                                  core::Diagnostics* diags);
   void sync_mna_stats();
 
   mna::MnaSystem mna_;

@@ -1,0 +1,106 @@
+#include "core/fault.h"
+
+#include <cstdlib>
+
+namespace awesim::core {
+
+FaultInjector::FaultInjector() {
+  if (const char* env = std::getenv("AWESIM_FAULTS")) {
+    arm_spec(env);
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(std::vector<FaultRule> rules) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_ = std::move(rules);
+  remaining_.clear();
+  for (const auto& r : rules_) {
+    remaining_.push_back(r.fire_limit < 0 ? -1 : r.fire_limit);
+  }
+  site_fired_.clear();
+  enabled_.store(!rules_.empty(), std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  remaining_.clear();
+  site_fired_.clear();
+  enabled_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::should_fire(std::string_view site,
+                                std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.site != site) continue;
+    if (r.key != "*" && r.key != key) continue;
+    if (remaining_[i] == 0) continue;
+    if (remaining_[i] > 0) --remaining_[i];
+    bool found = false;
+    for (auto& [s, n] : site_fired_) {
+      if (s == site) {
+        ++n;
+        found = true;
+        break;
+      }
+    }
+    if (!found) site_fired_.emplace_back(std::string(site), 1);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::fired(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [s, n] : site_fired_) {
+    if (s == site) return n;
+  }
+  return 0;
+}
+
+std::uint64_t FaultInjector::fired_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [s, n] : site_fired_) total += n;
+  return total;
+}
+
+bool FaultInjector::arm_spec(std::string_view spec) {
+  std::vector<FaultRule> rules;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    FaultRule rule;
+    const std::size_t at = item.rfind('@');
+    if (at != std::string_view::npos) {
+      rule.fire_limit =
+          std::atoi(std::string(item.substr(at + 1)).c_str());
+      item = item.substr(0, at);
+    }
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos) {
+      rule.site = std::string(item);
+    } else {
+      rule.site = std::string(item.substr(0, colon));
+      rule.key = std::string(item.substr(colon + 1));
+      if (rule.key.empty()) rule.key = "*";
+    }
+    if (!rule.site.empty()) rules.push_back(std::move(rule));
+  }
+  if (rules.empty()) return false;
+  arm(std::move(rules));
+  return true;
+}
+
+}  // namespace awesim::core

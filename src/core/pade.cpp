@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/fault.h"
 #include "la/lu.h"
 #include "la/poly.h"
 
@@ -94,9 +95,11 @@ bool try_match(const std::vector<double>& mu, int j0, int q,
     // numerical rank < q: the circuit response carries fewer than q
     // resolvable modes.  Reduce the order rather than manufacture
     // spurious poles from rounding noise.
-    if (lu.pivot_growth() > 1e13) return false;
+    out->hankel_pivot_growth = lu.pivot_growth();
+    if (out->hankel_pivot_growth > 1e13) return false;
     a = lu.solve(rhs);
   } catch (const la::SingularMatrixError&) {
+    out->hankel_pivot_growth = std::numeric_limits<double>::infinity();
     return false;
   }
 
@@ -236,6 +239,18 @@ MatchResult match_moments(const std::vector<double>& mu, int j0, int q,
   MatchResult result;
   result.order_requested = q;
 
+  // Non-finite moments (upstream numerical breakdown or an injected
+  // fault): no window is matchable.  Flagged via stable=false so callers
+  // can tell this apart from a clean zero transient.
+  for (std::size_t i = 0; i < needed; ++i) {
+    if (!std::isfinite(mu[i])) {
+      result.order_used = 0;
+      result.stable = false;
+      result.moment_residual = std::numeric_limits<double>::infinity();
+      return result;
+    }
+  }
+
   // Identically-zero transient: nothing to match.
   double max_mu = 0.0;
   for (std::size_t i = 0; i < needed; ++i) {
@@ -271,14 +286,24 @@ MatchResult match_moments(const std::vector<double>& mu, int j0, int q,
   }
 
   result.pole_shift = options.pole_shift;
+  double rejected_growth = -1.0;
   for (int qq = q; qq >= 1; --qq) {
-    if (try_match(mu, j0, qq, options, gamma, &result)) {
+    result.hankel_pivot_growth = -1.0;
+    const bool injected_singular =
+        fault_at("pade.hankel", std::to_string(qq));
+    if (!injected_singular && try_match(mu, j0, qq, options, gamma,
+                                        &result)) {
+      result.rejected_pivot_growth = rejected_growth;
       return result;
     }
+    // This order was rejected (rank/conditioning/self-check); remember
+    // the conditioning estimate that killed it for the diagnostics.
+    rejected_growth = std::max(rejected_growth, result.hankel_pivot_growth);
   }
   // Even a single pole failed: report the degenerate empty result.
   result.order_used = 0;
   result.terms.clear();
+  result.rejected_pivot_growth = rejected_growth;
   return result;
 }
 

@@ -82,6 +82,16 @@ struct MatchResult {
   /// max |reconstructed moment - input moment| / max |input moment|
   /// over the matched window -- a direct self-check of the match.
   double moment_residual = 0.0;
+
+  /// Pivot spread |max|/|min| of the accepted order's Hankel LU -- the
+  /// cheap conditioning proxy of the eq. 24 system; negative if the
+  /// accepted order never reached the Hankel solve (zero transient).
+  double hankel_pivot_growth = -1.0;
+
+  /// Largest pivot spread among *rejected* higher orders (the condition
+  /// estimate that triggered order step-down); negative if no order was
+  /// rejected for conditioning.
+  double rejected_pivot_growth = -1.0;
 };
 
 /// Match a q-pole model to the moment window mu[j0 .. j0+2q-1].

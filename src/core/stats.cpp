@@ -10,6 +10,11 @@ Stats& Stats::operator+=(const Stats& other) {
   matches += other.matches;
   outputs += other.outputs;
   stages += other.stages;
+  window_shifts += other.window_shifts;
+  order_stepdowns += other.order_stepdowns;
+  elmore_fallbacks += other.elmore_fallbacks;
+  degradations += other.degradations;
+  failures += other.failures;
   seconds_setup += other.seconds_setup;
   seconds_moments += other.seconds_moments;
   seconds_match += other.seconds_match;
@@ -22,6 +27,11 @@ Stats& Stats::operator-=(const Stats& other) {
   matches -= other.matches;
   outputs -= other.outputs;
   stages -= other.stages;
+  window_shifts -= other.window_shifts;
+  order_stepdowns -= other.order_stepdowns;
+  elmore_fallbacks -= other.elmore_fallbacks;
+  degradations -= other.degradations;
+  failures -= other.failures;
   seconds_setup -= other.seconds_setup;
   seconds_moments -= other.seconds_moments;
   seconds_match -= other.seconds_match;
@@ -32,18 +42,29 @@ Stats operator+(Stats a, const Stats& b) { return a += b; }
 Stats operator-(Stats a, const Stats& b) { return a -= b; }
 
 std::string Stats::summary() const {
-  char buf[256];
-  std::snprintf(buf, sizeof buf,
-                "%llu LU, %llu subst, %llu matches, %llu outputs, "
-                "%llu stages | setup %.3g ms, moments %.3g ms, "
-                "match %.3g ms",
-                static_cast<unsigned long long>(factorizations),
-                static_cast<unsigned long long>(substitutions),
-                static_cast<unsigned long long>(matches),
-                static_cast<unsigned long long>(outputs),
-                static_cast<unsigned long long>(stages),
-                seconds_setup * 1e3, seconds_moments * 1e3,
-                seconds_match * 1e3);
+  char buf[384];
+  int n = std::snprintf(
+      buf, sizeof buf,
+      "%llu LU, %llu subst, %llu matches, %llu outputs, "
+      "%llu stages | setup %.3g ms, moments %.3g ms, "
+      "match %.3g ms",
+      static_cast<unsigned long long>(factorizations),
+      static_cast<unsigned long long>(substitutions),
+      static_cast<unsigned long long>(matches),
+      static_cast<unsigned long long>(outputs),
+      static_cast<unsigned long long>(stages), seconds_setup * 1e3,
+      seconds_moments * 1e3, seconds_match * 1e3);
+  if (degradations + failures > 0 && n > 0 &&
+      static_cast<std::size_t>(n) < sizeof buf) {
+    std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                  " | %llu degraded (%llu shift, %llu stepdown, "
+                  "%llu elmore), %llu failed",
+                  static_cast<unsigned long long>(degradations),
+                  static_cast<unsigned long long>(window_shifts),
+                  static_cast<unsigned long long>(order_stepdowns),
+                  static_cast<unsigned long long>(elmore_fallbacks),
+                  static_cast<unsigned long long>(failures));
+  }
   return buf;
 }
 

@@ -34,6 +34,15 @@ struct Stats {
   /// Timing stages evaluated (filled by timing::Design::analyze).
   std::uint64_t stages = 0;
 
+  /// Degradation-ladder counters (see EngineOptions::degrade and
+  /// DESIGN.md "Failure taxonomy").  Rung counters are per atom-match;
+  /// degradations/failures are per output (worst rung of the Result).
+  std::uint64_t window_shifts = 0;     // Section 3.3 shifted window engaged
+  std::uint64_t order_stepdowns = 0;   // order stepped below the request
+  std::uint64_t elmore_fallbacks = 0;  // flagged single-pole Elmore bound
+  std::uint64_t degradations = 0;      // outputs answered below full quality
+  std::uint64_t failures = 0;          // outputs with no transient model
+
   /// Wall time per phase, in seconds.
   double seconds_setup = 0.0;    // atom building: LU + particular solutions
   double seconds_moments = 0.0;  // moment recursion and gathering

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/fault.h"
+
 namespace awesim::la {
 
 namespace {
@@ -20,6 +22,9 @@ Lu<T>::Lu(Matrix<T> a) : lu_(std::move(a)) {
     throw std::invalid_argument("Lu: matrix must be square");
   }
   const std::size_t n = lu_.rows();
+  if (core::fault_at("la.lu", std::to_string(n))) {
+    throw SingularMatrixError(0);
+  }
   perm_.resize(n);
   std::iota(perm_.begin(), perm_.end(), std::size_t{0});
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <queue>
 #include <stdexcept>
+
+#include "core/fault.h"
 
 namespace awesim::mna {
 
@@ -249,6 +252,51 @@ const la::RealVector& MnaSystem::initial_state() const {
   return x0_;
 }
 
+std::vector<std::string> MnaSystem::floating_node_names() const {
+  // BFS from ground over elements that provide a conductive (G-matrix or
+  // branch-equation) path: resistors, inductors, voltage sources, VCVS,
+  // CCVS.  Capacitors couple charge but fix no DC voltage; current
+  // sources impose no constraint between their terminals.  Nodes the
+  // walk never reaches float.
+  const std::size_t count = ckt_->node_count();
+  std::vector<std::vector<circuit::NodeId>> adjacent(count);
+  for (const auto& e : ckt_->elements()) {
+    switch (e.kind) {
+      case ElementKind::Resistor:
+      case ElementKind::Inductor:
+      case ElementKind::VoltageSource:
+      case ElementKind::Vcvs:
+      case ElementKind::Ccvs:
+        adjacent[static_cast<std::size_t>(e.pos)].push_back(e.neg);
+        adjacent[static_cast<std::size_t>(e.neg)].push_back(e.pos);
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<bool> reached(count, false);
+  std::queue<circuit::NodeId> frontier;
+  reached[static_cast<std::size_t>(kGround)] = true;
+  frontier.push(kGround);
+  while (!frontier.empty()) {
+    const circuit::NodeId at = frontier.front();
+    frontier.pop();
+    for (const circuit::NodeId next : adjacent[static_cast<std::size_t>(at)]) {
+      if (!reached[static_cast<std::size_t>(next)]) {
+        reached[static_cast<std::size_t>(next)] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  std::vector<std::string> names;
+  for (std::size_t id = 1; id < count; ++id) {
+    if (!reached[id]) {
+      names.push_back(ckt_->node_name(static_cast<circuit::NodeId>(id)));
+    }
+  }
+  return names;
+}
+
 Solver MnaSystem::factor(double shift) const {
   // Assemble (G + shift*C) triplets, optionally with the gmin retry.
   auto assemble = [&](double gmin) {
@@ -267,6 +315,9 @@ Solver MnaSystem::factor(double shift) const {
   };
 
   auto build = [&](double gmin) -> Solver {
+    if (core::fault_at("mna.factor")) {
+      throw la::SingularMatrixError(0);
+    }
     ++solve_stats_.factorizations;
     const la::SparseMatrix m = assemble(gmin);
     if (uses_sparse()) {
@@ -275,18 +326,62 @@ Solver MnaSystem::factor(double shift) const {
     return Solver(la::Lu<double>(m.to_dense()));
   };
 
+  // Singular pivot: name the offending nodes instead of surfacing a bare
+  // pivot index, then retry with gmin if allowed.
+  auto singular_diagnostic = [&](const la::SingularMatrixError& e) {
+    core::Diagnostic diag;
+    diag.code = core::DiagCode::FloatingNodes;
+    diag.severity = core::Severity::Warning;
+    const std::vector<std::string> floating = floating_node_names();
+    if (floating.empty()) {
+      diag.code = core::DiagCode::SingularPivot;
+      diag.message = "G factorization hit a singular pivot at index " +
+                     std::to_string(e.pivot_index()) +
+                     "; no floating nodes found (voltage-source loop or "
+                     "degenerate topology?)";
+    } else {
+      diag.message =
+          "G factorization singular: " + std::to_string(floating.size()) +
+          " node(s) reachable only through capacitors";
+      for (std::size_t i = 0; i < floating.size(); ++i) {
+        if (i > 0) diag.node += ", ";
+        diag.node += floating[i];
+      }
+    }
+    return diag;
+  };
+
   try {
     return build(0.0);
-  } catch (const la::SingularMatrixError&) {
-    if (options_.gmin <= 0.0) throw;
+  } catch (const la::SingularMatrixError& e) {
+    core::Diagnostic diag = singular_diagnostic(e);
+    if (options_.gmin <= 0.0) {
+      diag.severity = core::Severity::Fatal;
+      diag.message += "; gmin fallback disabled";
+      diagnostics_.push_back(diag);
+      throw SingularSystemError(std::move(diag), e.pivot_index());
+    }
     // Floating nodes: add gmin from every node to ground and retry.  This
     // realizes the paper's observation that isolated (capacitor-only)
     // nodes need the charge-conservation equation for a steady state; a
     // tiny leak resolves the indeterminacy while leaving the time range
     // of interest unaffected.
-    Solver s = build(options_.gmin);
-    used_gmin_ = true;
-    return s;
+    try {
+      Solver s = build(options_.gmin);
+      used_gmin_ = true;
+      core::Diagnostic resolved = diag;
+      resolved.code = core::DiagCode::GminFallback;
+      resolved.severity = core::Severity::Info;
+      resolved.message += "; resolved by gmin leak to ground";
+      resolved.condition_estimate = -1.0;
+      diagnostics_.push_back(std::move(resolved));
+      return s;
+    } catch (const la::SingularMatrixError& e2) {
+      diag.severity = core::Severity::Fatal;
+      diag.message += "; gmin retry failed too";
+      diagnostics_.push_back(diag);
+      throw SingularSystemError(std::move(diag), e2.pivot_index());
+    }
   }
 }
 

@@ -29,11 +29,32 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "core/diagnostic.h"
 #include "la/lu.h"
 #include "la/matrix.h"
 #include "la/sparse.h"
 
 namespace awesim::mna {
+
+/// A singular MNA system that could not be resolved (gmin disabled, or the
+/// gmin retry failed too).  Derives from la::SingularMatrixError so
+/// existing catch sites keep working, but carries the full structured
+/// diagnostic -- including the *names* of the floating nodes -- instead of
+/// a bare pivot index.
+class SingularSystemError : public la::SingularMatrixError {
+ public:
+  SingularSystemError(core::Diagnostic diag, std::size_t pivot_index)
+      : la::SingularMatrixError(pivot_index),
+        diag_(std::move(diag)),
+        what_(diag_.to_string()) {}
+
+  const char* what() const noexcept override { return what_.c_str(); }
+  const core::Diagnostic& diagnostic() const { return diag_; }
+
+ private:
+  core::Diagnostic diag_;
+  std::string what_;
+};
 
 struct Options {
   /// Conductance added from every node to ground when the G matrix proves
@@ -117,6 +138,17 @@ class MnaSystem {
   /// True if the gmin retry was needed (the circuit has floating nodes).
   bool used_gmin() const;
 
+  /// Names of nodes with no conductive path to ground: reachable only
+  /// through capacitors (or through nothing at all).  These are the
+  /// usual culprits when the G factorization hits a singular pivot; the
+  /// paper's charge-conservation discussion covers why a steady state
+  /// needs the extra equation a tiny gmin leak supplies.
+  std::vector<std::string> floating_node_names() const;
+
+  /// Structured diagnostics accumulated by this system (floating-node
+  /// reports, gmin fallback records).  Appended to, never cleared.
+  const core::Diagnostics& diagnostics() const { return diagnostics_; }
+
   /// RHS value at t = 0- (all sources at their initial values, for the
   /// operating point that initial conditions are measured against).
   const la::RealVector& rhs_initial() const { return rhs_initial_; }
@@ -181,6 +213,7 @@ class MnaSystem {
   mutable std::map<double, std::unique_ptr<Solver>> shifted_;
   mutable bool used_gmin_ = false;
   mutable SolveStats solve_stats_;
+  mutable core::Diagnostics diagnostics_;
 };
 
 }  // namespace awesim::mna

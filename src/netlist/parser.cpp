@@ -19,26 +19,52 @@ std::string to_lower(std::string_view s) {
   return out;
 }
 
-// Split a card into tokens; parentheses and commas act as separators but
-// '(' after a keyword keeps function-style groups recognizable by the
-// caller, so we simply treat '(', ')' and ',' as whitespace and rely on
-// the leading keyword (STEP/PWL/DC) to interpret the numbers.
-std::vector<std::string> tokenize(std::string_view line) {
+// One netlist card, tokenized with per-token source columns so every
+// diagnostic can point at the offending token.  Parentheses and commas
+// act as separators; the leading keyword (STEP/PWL/DC) interprets the
+// numbers.  For cards continued over several lines the columns index the
+// joined card text.
+struct Card {
+  std::size_t line = 0;        // 1-based source line of the card start
+  std::size_t col_offset = 0;  // leading chars stripped from that line
   std::vector<std::string> tokens;
+  std::vector<std::size_t> cols;  // 1-based column per token
+
+  std::size_t column(std::size_t i) const {
+    if (i < cols.size()) return cols[i];
+    if (cols.empty()) return col_offset + 1;
+    return cols.back() + tokens.back().size();  // just past the card
+  }
+  std::string token(std::size_t i) const {
+    return i < tokens.size() ? tokens[i] : std::string();
+  }
+  ParseError error(std::size_t i, const std::string& message) const {
+    return ParseError(line, column(i), token(i), message);
+  }
+};
+
+Card make_card(std::size_t lineno, std::size_t col_offset,
+               std::string_view text) {
+  Card card;
+  card.line = lineno;
+  card.col_offset = col_offset;
   std::string cur;
-  for (char c : line) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    const char c = i < text.size() ? text[i] : ' ';
     if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
         c == ')' || c == ',') {
       if (!cur.empty()) {
-        tokens.push_back(cur);
+        card.tokens.push_back(cur);
+        card.cols.push_back(col_offset + start + 1);
         cur.clear();
       }
     } else {
+      if (cur.empty()) start = i;
       cur.push_back(c);
     }
   }
-  if (!cur.empty()) tokens.push_back(cur);
-  return tokens;
+  return card;
 }
 
 bool is_number(std::string_view token) {
@@ -87,21 +113,21 @@ double parse_value(std::string_view token) {
 
 namespace {
 
-// Parse the stimulus part of a V/I card starting at tokens[start].
-circuit::Stimulus parse_stimulus(const std::vector<std::string>& tokens,
-                                 std::size_t start, std::size_t line) {
+// Parse the stimulus part of a V/I card starting at card.tokens[start].
+circuit::Stimulus parse_stimulus(const Card& card, std::size_t start) {
+  const auto& tokens = card.tokens;
   if (start >= tokens.size()) {
-    throw ParseError(line, "missing source value");
+    throw card.error(start, "missing source value");
   }
   const std::string kind = to_lower(tokens[start]);
   auto num = [&](std::size_t i) -> double {
     if (i >= tokens.size()) {
-      throw ParseError(line, "missing numeric argument");
+      throw card.error(i, "missing numeric argument");
     }
     try {
       return parse_value(tokens[i]);
     } catch (const std::invalid_argument& e) {
-      throw ParseError(line, e.what());
+      throw card.error(i, e.what());
     }
   };
   if (kind == "dc") {
@@ -122,44 +148,39 @@ circuit::Stimulus parse_stimulus(const std::vector<std::string>& tokens,
     for (std::size_t i = start + 1; i + 1 < tokens.size(); i += 2) {
       points.emplace_back(num(i), num(i + 1));
     }
-    if (points.empty()) throw ParseError(line, "PWL needs points");
+    if (points.empty()) throw card.error(start, "PWL needs points");
     try {
       return circuit::Stimulus::pwl(points);
     } catch (const std::invalid_argument& e) {
-      throw ParseError(line, e.what());
+      throw card.error(start, e.what());
     }
   }
   if (is_number(kind)) {
     // Bare value: DC.
     return circuit::Stimulus::dc(num(start));
   }
-  throw ParseError(line, "unknown stimulus '" + tokens[start] + "'");
+  throw card.error(start, "unknown stimulus '" + tokens[start] + "'");
 }
 
 // IC=value suffix on C/L cards.
-std::optional<double> parse_ic(const std::vector<std::string>& tokens,
-                               std::size_t start, std::size_t line) {
-  for (std::size_t i = start; i < tokens.size(); ++i) {
-    const std::string lower = to_lower(tokens[i]);
+std::optional<double> parse_ic(const Card& card, std::size_t start) {
+  for (std::size_t i = start; i < card.tokens.size(); ++i) {
+    const std::string lower = to_lower(card.tokens[i]);
     if (lower.rfind("ic=", 0) == 0) {
       try {
         return parse_value(lower.substr(3));
       } catch (const std::invalid_argument& e) {
-        throw ParseError(line, e.what());
+        throw card.error(i, e.what());
       }
     }
   }
   return std::nullopt;
 }
 
-}  // namespace
-
-namespace {
-
-// A .subckt definition: ordered port names plus the raw cards inside.
+// A .subckt definition: ordered port names plus the cards inside.
 struct SubcktDef {
   std::vector<std::string> ports;
-  std::vector<std::pair<std::size_t, std::string>> cards;
+  std::vector<Card> cards;
 };
 
 // Card-processing context: node/element name mapping for (possibly
@@ -186,30 +207,30 @@ std::string map_node(const ExpandContext& ctx, const std::string& name) {
   return ctx.prefix + name;
 }
 
-void process_card(const std::vector<std::string>& tokens,
-                  std::size_t lineno, const ExpandContext& ctx);
+void process_card(const Card& card, const ExpandContext& ctx);
 
 // Expand one subcircuit instance card: Xname node1..nodeK subcktName.
-void expand_instance(const std::vector<std::string>& tokens,
-                     std::size_t lineno, const ExpandContext& ctx) {
+void expand_instance(const Card& card, const ExpandContext& ctx) {
+  const auto& tokens = card.tokens;
   if (tokens.size() < 3) {
-    throw ParseError(lineno, "subcircuit instance needs nodes and a name");
+    throw card.error(0, "subcircuit instance needs nodes and a name");
   }
   if (ctx.depth > 40) {
-    throw ParseError(lineno, "subcircuit nesting too deep (recursive?)");
+    throw card.error(0, "subcircuit nesting too deep (recursive?)");
   }
   const std::string def_name = to_lower(tokens.back());
   const auto it = ctx.subckts->find(def_name);
   if (it == ctx.subckts->end()) {
-    throw ParseError(lineno,
+    throw card.error(tokens.size() - 1,
                      "unknown subcircuit '" + tokens.back() + "'");
   }
   const SubcktDef& def = it->second;
   const std::size_t given = tokens.size() - 2;
   if (given != def.ports.size()) {
-    throw ParseError(lineno, "subcircuit '" + tokens.back() + "' expects " +
-                                 std::to_string(def.ports.size()) +
-                                 " nodes, got " + std::to_string(given));
+    throw card.error(tokens.size() - 1,
+                     "subcircuit '" + tokens.back() + "' expects " +
+                         std::to_string(def.ports.size()) + " nodes, got " +
+                         std::to_string(given));
   }
   std::map<std::string, std::string> port_map;
   for (std::size_t p = 0; p < def.ports.size(); ++p) {
@@ -221,15 +242,14 @@ void expand_instance(const std::vector<std::string>& tokens,
   inner.prefix = ctx.prefix + tokens[0] + ".";
   inner.port_map = &port_map;
   inner.depth = ctx.depth + 1;
-  for (const auto& [inner_line, card] : def.cards) {
-    const auto inner_tokens = tokenize(card);
-    if (!inner_tokens.empty()) process_card(inner_tokens, inner_line, inner);
+  for (const Card& inner_card : def.cards) {
+    if (!inner_card.tokens.empty()) process_card(inner_card, inner);
   }
 }
 
-void process_card(const std::vector<std::string>& tokens,
-                  std::size_t lineno, const ExpandContext& ctx) {
+void process_card(const Card& card, const ExpandContext& ctx) {
   circuit::Circuit& ckt = *ctx.ckt;
+  const auto& tokens = card.tokens;
   const std::string head = to_lower(tokens[0]);
 
   if (head[0] == '.') {
@@ -253,24 +273,25 @@ void process_card(const std::vector<std::string>& tokens,
           ckt.set_initial_node_voltage(ckt.node(map_node(ctx, node)),
                                        parse_value(val));
         } else {
-          throw ParseError(lineno, "bad .ic item '" + tokens[i] + "'");
+          throw card.error(i, "bad .ic item '" + tokens[i] + "'");
         }
       }
       return;
     }
-    throw ParseError(lineno, "unknown directive '" + tokens[0] + "'");
+    throw card.error(0, "unknown directive '" + tokens[0] + "'");
   }
 
   auto need = [&](std::size_t count) {
     if (tokens.size() < count) {
-      throw ParseError(lineno, "too few fields on '" + tokens[0] + "'");
+      throw card.error(tokens.size(),
+                       "too few fields on '" + tokens[0] + "'");
     }
   };
   auto value_of = [&](std::size_t i) -> double {
     try {
       return parse_value(tokens[i]);
     } catch (const std::invalid_argument& e) {
-      throw ParseError(lineno, e.what());
+      throw card.error(i, e.what());
     }
   };
   auto node_of = [&](std::size_t i) {
@@ -287,25 +308,25 @@ void process_card(const std::vector<std::string>& tokens,
     case 'c': {
       need(4);
       ckt.add_capacitor(name, node_of(1), node_of(2), value_of(3),
-                        parse_ic(tokens, 4, lineno));
+                        parse_ic(card, 4));
       break;
     }
     case 'l': {
       need(4);
       ckt.add_inductor(name, node_of(1), node_of(2), value_of(3),
-                       parse_ic(tokens, 4, lineno));
+                       parse_ic(card, 4));
       break;
     }
     case 'v': {
       need(4);
       ckt.add_vsource(name, node_of(1), node_of(2),
-                      parse_stimulus(tokens, 3, lineno));
+                      parse_stimulus(card, 3));
       break;
     }
     case 'i': {
       need(4);
       ckt.add_isource(name, node_of(1), node_of(2),
-                      parse_stimulus(tokens, 3, lineno));
+                      parse_stimulus(card, 3));
       break;
     }
     case 'e': {
@@ -333,96 +354,182 @@ void process_card(const std::vector<std::string>& tokens,
       break;
     }
     case 'x': {
-      expand_instance(tokens, lineno, ctx);
+      expand_instance(card, ctx);
       break;
     }
     default:
-      throw ParseError(lineno, "unknown element '" + tokens[0] + "'");
+      throw card.error(0, "unknown element '" + tokens[0] + "'");
   }
 }
 
 }  // namespace
 
-circuit::Circuit parse(std::string_view text) {
-  // Join continuation lines first.
-  std::vector<std::pair<std::size_t, std::string>> cards;
+ParseResult parse_collect(std::string_view text,
+                          const std::string& filename) {
+  ParseResult result;
+
+  auto record_parse = [&](const ParseError& e) {
+    core::Diagnostic d;
+    d.code = core::DiagCode::ParseError;
+    d.severity = core::Severity::Error;
+    d.message = e.message();
+    d.element = e.token();
+    d.file = filename;
+    d.line = e.line();
+    d.column = e.column();
+    result.diagnostics.push_back(std::move(d));
+  };
+  auto record_validation = [&](std::size_t line, const std::string& msg) {
+    core::Diagnostic d;
+    d.code = core::DiagCode::ValidationError;
+    d.severity = core::Severity::Error;
+    d.message = msg;
+    d.file = filename;
+    d.line = line;
+    result.diagnostics.push_back(std::move(d));
+  };
+
+  // Join continuation lines; a stray '+' is recorded and skipped so the
+  // rest of the file still gets checked.
+  std::vector<Card> cards;
   {
     std::istringstream in{std::string(text)};
     std::string raw;
     std::size_t lineno = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> starts;  // line, col
+    std::vector<std::string> texts;
     while (std::getline(in, raw)) {
       ++lineno;
       // Strip comments.
       const std::size_t semi = raw.find(';');
       if (semi != std::string::npos) raw.erase(semi);
-      std::string trimmed = raw;
-      trimmed.erase(0, trimmed.find_first_not_of(" \t\r"));
+      const std::size_t first = raw.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;
+      std::string trimmed = raw.substr(first);
+      while (!trimmed.empty() &&
+             (trimmed.back() == '\r' || trimmed.back() == ' ' ||
+              trimmed.back() == '\t')) {
+        trimmed.pop_back();
+      }
       if (trimmed.empty()) continue;
       if (trimmed.front() == '*') continue;
       if (trimmed.front() == '+') {
-        if (cards.empty()) {
-          throw ParseError(lineno, "continuation with no previous card");
+        if (texts.empty()) {
+          record_parse(ParseError(lineno, first + 1, "+",
+                                  "continuation with no previous card"));
+          continue;
         }
-        cards.back().second += " " + trimmed.substr(1);
+        texts.back() += " " + trimmed.substr(1);
       } else {
-        cards.emplace_back(lineno, trimmed);
+        starts.emplace_back(lineno, first);
+        texts.push_back(std::move(trimmed));
       }
+    }
+    cards.reserve(texts.size());
+    for (std::size_t i = 0; i < texts.size(); ++i) {
+      cards.push_back(make_card(starts[i].first, starts[i].second,
+                                texts[i]));
     }
   }
 
-  // Extract .subckt ... .ends blocks (top level only).
+  // Extract .subckt ... .ends blocks (top level only).  A malformed
+  // block is recorded and skipped as a unit.
   std::map<std::string, SubcktDef> subckts;
-  std::vector<std::pair<std::size_t, std::string>> top;
+  std::vector<Card> top;
   for (std::size_t i = 0; i < cards.size(); ++i) {
-    const auto tokens = tokenize(cards[i].second);
-    if (!tokens.empty() && to_lower(tokens[0]) == ".subckt") {
-      if (tokens.size() < 3) {
-        throw ParseError(cards[i].first,
-                         ".subckt needs a name and at least one port");
-      }
-      SubcktDef def;
-      for (std::size_t p = 2; p < tokens.size(); ++p) {
-        def.ports.push_back(tokens[p]);
-      }
-      const std::string def_name = to_lower(tokens[1]);
-      std::size_t j = i + 1;
-      bool closed = false;
-      for (; j < cards.size(); ++j) {
-        const auto inner = tokenize(cards[j].second);
-        if (!inner.empty() && to_lower(inner[0]) == ".subckt") {
-          throw ParseError(cards[j].first,
-                           "nested .subckt definitions are not supported");
-        }
-        if (!inner.empty() && to_lower(inner[0]) == ".ends") {
-          closed = true;
-          break;
-        }
-        def.cards.push_back(cards[j]);
-      }
-      if (!closed) {
-        throw ParseError(cards[i].first, "unterminated .subckt block");
-      }
-      if (!subckts.emplace(def_name, std::move(def)).second) {
-        throw ParseError(cards[i].first,
-                         "duplicate .subckt '" + tokens[1] + "'");
-      }
-      i = j;  // skip past .ends
-    } else {
-      top.push_back(cards[i]);
+    const Card& card = cards[i];
+    if (card.tokens.empty()) continue;
+    if (to_lower(card.tokens[0]) != ".subckt") {
+      top.push_back(card);
+      continue;
     }
+    const bool has_header = card.tokens.size() >= 3;
+    if (!has_header) {
+      record_parse(
+          card.error(card.tokens.size(),
+                     ".subckt needs a name and at least one port"));
+    }
+    SubcktDef def;
+    for (std::size_t p = 2; p < card.tokens.size(); ++p) {
+      def.ports.push_back(card.tokens[p]);
+    }
+    std::size_t j = i + 1;
+    bool closed = false;
+    for (; j < cards.size(); ++j) {
+      const Card& inner = cards[j];
+      if (inner.tokens.empty()) continue;
+      const std::string inner_head = to_lower(inner.tokens[0]);
+      if (inner_head == ".subckt") {
+        record_parse(
+            inner.error(0, "nested .subckt definitions are not supported"));
+        // Treat it as closing the outer block so both get surfaced once.
+        break;
+      }
+      if (inner_head == ".ends") {
+        closed = true;
+        break;
+      }
+      def.cards.push_back(inner);
+    }
+    if (!closed && j >= cards.size()) {
+      record_parse(card.error(0, "unterminated .subckt block"));
+    }
+    if (has_header) {
+      const std::string def_name = to_lower(card.tokens[1]);
+      if (!subckts.emplace(def_name, std::move(def)).second) {
+        record_parse(card.error(
+            1, "duplicate .subckt '" + card.tokens[1] + "'"));
+      }
+    }
+    i = j;  // skip past .ends (or the offending nested .subckt)
   }
 
+  // Process the top-level cards, recovering per card: a bad card is
+  // recorded and skipped, the next one still runs against the same
+  // circuit so independent errors all surface in one pass.
   circuit::Circuit ckt;
   ExpandContext ctx;
   ctx.ckt = &ckt;
   ctx.subckts = &subckts;
   ctx.port_map = nullptr;
-  for (const auto& [lineno, card] : top) {
-    const auto tokens = tokenize(card);
-    if (!tokens.empty()) process_card(tokens, lineno, ctx);
+  for (const Card& card : top) {
+    if (card.tokens.empty()) continue;
+    try {
+      process_card(card, ctx);
+    } catch (const ParseError& e) {
+      record_parse(e);
+    } catch (const std::exception& e) {
+      // Structural problems from the circuit builder (duplicate element
+      // names, bad control references, non-finite values).
+      record_validation(card.line, e.what());
+    }
   }
-  ckt.validate();
-  return ckt;
+  if (count_at_least(result.diagnostics, core::Severity::Error) == 0) {
+    try {
+      ckt.validate();
+      result.circuit = std::move(ckt);
+    } catch (const std::exception& e) {
+      record_validation(0, e.what());
+    }
+  }
+  return result;
+}
+
+circuit::Circuit parse(std::string_view text) {
+  ParseResult result = parse_collect(text);
+  if (!result.circuit) {
+    for (const auto& d : result.diagnostics) {
+      if (d.severity < core::Severity::Error) continue;
+      // Preserve the historical exception types: malformed text throws
+      // ParseError, structurally invalid circuits std::invalid_argument.
+      if (d.code == core::DiagCode::ValidationError) {
+        throw std::invalid_argument(d.message);
+      }
+      throw ParseError(d.line, d.column, d.element, d.message);
+    }
+    throw ParseError(0, "netlist rejected with no diagnostic");
+  }
+  return std::move(*result.circuit);
 }
 
 circuit::Circuit parse_file(const std::string& path) {
@@ -433,6 +540,23 @@ circuit::Circuit parse_file(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return parse(buf.str());
+}
+
+ParseResult parse_file_collect(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult result;
+    core::Diagnostic d;
+    d.code = core::DiagCode::ParseError;
+    d.severity = core::Severity::Error;
+    d.message = "cannot open '" + path + "'";
+    d.file = path;
+    result.diagnostics.push_back(std::move(d));
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_collect(buf.str(), path);
 }
 
 namespace {

@@ -7,6 +7,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/fault.h"
 #include "core/parallel.h"
 
 namespace awesim::timing {
@@ -98,6 +99,71 @@ struct StageOutcome {
   core::Stats stats;
 };
 
+// Last-resort stage estimate when the AWE evaluation itself is dead
+// (singular MNA, injected fault, anything thrown): the lumped Elmore
+// bound tau = (Rdrv + sum R) * (sum C), pessimistic by construction,
+// computed straight from the net description without any linear solve.
+// Keeps the wavefront moving: downstream stages see finite, reproducible
+// arrivals and the report carries a StageFailed diagnostic.
+StageOutcome elmore_bound_stage(const Gate& driver, const Net& net,
+                                const std::map<std::string, Gate>& gates,
+                                const AnalysisOptions& options, double t_in,
+                                double in_slew, const std::string& reason) {
+  StageOutcome outcome;
+  StageTiming& st = outcome.timing;
+  st.driver_gate = driver.name;
+  st.net = net.name;
+  st.input_arrival = t_in;
+  st.degraded = true;
+  st.failed = true;
+
+  double r_total = driver.drive_resistance;
+  double c_total = 0.0;
+  for (const auto& e : net.parasitics) {
+    if (e.kind == NetElement::Kind::Resistor &&
+        std::isfinite(e.value)) {
+      r_total += std::abs(e.value);
+    } else if (e.kind == NetElement::Kind::Capacitor &&
+               std::isfinite(e.value)) {
+      c_total += std::abs(e.value);
+    }
+  }
+  for (const auto& [sink, node_name] : net.sink_node) {
+    const auto it = gates.find(sink);
+    if (it != gates.end() && it->second.input_capacitance > 0.0) {
+      c_total += it->second.input_capacitance;
+    }
+  }
+  const double tau = r_total * c_total;
+  // Single-pole response: 50% crossing at ln 2 * tau, 20-80% rise over
+  // ln 4 * tau; half the input slew stands in for the ramp delay.
+  const double delay =
+      driver.intrinsic_delay + std::log(2.0) * tau + 0.5 * in_slew;
+  const double out_slew = std::max(std::log(4.0) * tau, in_slew);
+  for (const auto& [sink, node_name] : net.sink_node) {
+    SinkTiming sink_t;
+    sink_t.gate = sink;
+    sink_t.stage_delay = delay;
+    sink_t.slew = out_slew;
+    sink_t.arrival = t_in + delay;
+    st.sinks.push_back(std::move(sink_t));
+  }
+
+  core::Diagnostic d;
+  d.code = core::DiagCode::StageFailed;
+  d.severity = core::Severity::Error;
+  d.message = "stage evaluation failed (" + reason +
+              "); substituted the lumped Elmore bound tau=" +
+              std::to_string(tau) + "s";
+  d.element = net.name;
+  d.node = driver.name;
+  st.diagnostics.push_back(std::move(d));
+
+  outcome.stats.stages = 1;
+  outcome.stats.failures = 1;
+  return outcome;
+}
+
 StageOutcome evaluate_stage(const Gate& driver, const Net& net,
                             const std::map<std::string, Gate>& gates,
                             const AnalysisOptions& options, double t_in,
@@ -107,6 +173,12 @@ StageOutcome evaluate_stage(const Gate& driver, const Net& net,
   st.driver_gate = driver.name;
   st.net = net.name;
   st.input_arrival = t_in;
+
+  if (core::fault_at("timing.stage", net.name)) {
+    throw core::DiagnosticError(
+        {core::DiagCode::InjectedFault, core::Severity::Error,
+         "injected stage evaluation fault", net.name});
+  }
 
   StageCircuit sc = build_stage(driver, net, gates, options.swing,
                                 in_slew);
@@ -134,6 +206,24 @@ StageOutcome evaluate_stage(const Gate& driver, const Net& net,
   for (std::size_t i = 0; i < sink_names.size(); ++i) {
     const core::Result& result = batch.results[i];
     st.awe_order_used = std::max(st.awe_order_used, result.order_used);
+    if (result.status >= core::ApproxStatus::OrderReduced) {
+      // The engine walked its degradation ladder for this sink: the
+      // timing numbers below come from a below-requested-quality model.
+      st.degraded = true;
+      core::Diagnostic d;
+      d.code = core::DiagCode::StageDegraded;
+      d.severity = core::Severity::Warning;
+      d.message = std::string("sink answered from ladder rung '") +
+                  core::to_string(result.status) + "'";
+      d.element = net.name;
+      d.node = sink_names[i];
+      st.diagnostics.push_back(std::move(d));
+    }
+    for (const auto& rd : result.diagnostics) {
+      if (rd.severity >= core::Severity::Warning) {
+        st.diagnostics.push_back(rd);
+      }
+    }
     // Horizon: generous multiple of the slowest time constant plus the
     // input slew.
     const double tau = result.approximation.dominant_time_constant();
@@ -259,12 +349,28 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
     }
     if (jobs.empty()) continue;
 
-    // Evaluate concurrently into per-stage slots...
+    // Evaluate concurrently into per-stage slots.  Each job is its own
+    // fault domain: anything thrown (singular MNA, injected fault) is
+    // caught here, the stage degrades to the analytic Elmore bound, and
+    // the rest of the wavefront proceeds untouched.  The injection and
+    // the fallback are pure functions of the stage itself, so the report
+    // stays bit-identical across thread counts.
     std::vector<StageOutcome> outcomes(jobs.size());
     pool.parallel_for(jobs.size(), [&](std::size_t i) {
       const StageJob& job = jobs[i];
-      outcomes[i] = evaluate_stage(*job.driver, job.net->net, gates_,
-                                   options, job.t_in, job.in_slew);
+      try {
+        if (core::fault_at("parallel.job", job.net->net.name)) {
+          throw core::DiagnosticError(
+              {core::DiagCode::InjectedFault, core::Severity::Error,
+               "injected thread-pool job fault", job.net->net.name});
+        }
+        outcomes[i] = evaluate_stage(*job.driver, job.net->net, gates_,
+                                     options, job.t_in, job.in_slew);
+      } catch (const std::exception& e) {
+        outcomes[i] =
+            elmore_bound_stage(*job.driver, job.net->net, gates_, options,
+                               job.t_in, job.in_slew, e.what());
+      }
     });
 
     // ... then reduce serially in job order, so arrivals, predecessor
@@ -272,6 +378,14 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
     for (auto& outcome : outcomes) {
       report.awe_stats += outcome.stats;
       StageTiming& st = outcome.timing;
+      if (st.failed) {
+        ++report.failed_stages;
+      } else if (st.degraded) {
+        ++report.degraded_stages;
+      }
+      for (const auto& d : st.diagnostics) {
+        report.diagnostics.push_back(d);
+      }
       for (const auto& sink_t : st.sinks) {
         if (gates_.count(sink_t.gate) > 0) {
           const bool improves = arrival.count(sink_t.gate) == 0 ||

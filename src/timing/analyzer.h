@@ -98,6 +98,19 @@ struct StageTiming {
   double input_arrival = 0.0;
   std::vector<SinkTiming> sinks;
   int awe_order_used = 0;
+
+  /// True when any sink of this stage was answered below full AWE
+  /// quality (engine degradation ladder) or the whole stage fell back
+  /// to the analytic Elmore bound after an evaluation failure.
+  bool degraded = false;
+
+  /// True when the full AWE evaluation of the stage threw and the
+  /// analytic Elmore bound was substituted; the wavefront continued.
+  bool failed = false;
+
+  /// Everything that went wrong (or was gracefully recovered) while
+  /// evaluating this stage, in deterministic order.
+  core::Diagnostics diagnostics;
 };
 
 struct TimingReport {
@@ -110,6 +123,19 @@ struct TimingReport {
 
   /// Number of Kahn wavefronts the stage DAG levelized into.
   std::size_t levels = 0;
+
+  /// Stages answered below full AWE quality (order step-down, Elmore
+  /// fallback) but with a usable bound.
+  std::size_t degraded_stages = 0;
+
+  /// Stages whose AWE evaluation threw entirely; each carries the
+  /// analytic Elmore bound and a StageFailed diagnostic instead of
+  /// aborting the analysis.
+  std::size_t failed_stages = 0;
+
+  /// All stage diagnostics, concatenated in the deterministic stage
+  /// order (identical for every thread count).
+  core::Diagnostics diagnostics;
 
   /// AWE cost counters summed over all stages in deterministic stage
   /// order (factorizations, substitutions, matches, per-phase time).

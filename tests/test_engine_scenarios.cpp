@@ -206,4 +206,47 @@ TEST(Scenarios, DeepRcLineHighOrder) {
   EXPECT_LT(compare_to_sim(ckt, prev, 4, 100e-9), 0.01);
 }
 
+TEST(Scenarios, IllConditionedHighOrderStepsDownGracefully) {
+  // Asking q=8 of a uniform 12-section ladder drives the eq. 24 Hankel
+  // system far beyond its numerical rank: the far-node response is
+  // dominated by a handful of modes and the high-order rows are rounding
+  // noise.  The guarded pipeline must step the order down (recording the
+  // conditioning estimate in a diagnostic) and still land on a stable
+  // model that tracks the reference simulation -- never return spurious
+  // poles manufactured from the ill-conditioned solve.
+  Circuit ckt;
+  auto prev = ckt.node("in");
+  ckt.add_vsource("V1", prev, kGround, Stimulus::step(0.0, 1.0));
+  for (int i = 1; i <= 12; ++i) {
+    const auto n = ckt.node("n" + std::to_string(i));
+    ckt.add_resistor("R" + std::to_string(i), prev, n, 1e3);
+    ckt.add_capacitor("C" + std::to_string(i), n, kGround, 1e-12);
+    prev = n;
+  }
+  Engine engine(ckt);
+  EngineOptions opt;
+  opt.order = 8;
+  const auto result = engine.approximate(prev, opt);
+  EXPECT_TRUE(result.stable);
+  EXPECT_LT(result.order_used, 8);
+  EXPECT_GE(result.order_used, 2);
+  // The rejection of the higher orders left its conditioning fingerprint.
+  bool saw_order_reduction = false;
+  for (const auto& d : result.diagnostics) {
+    if (d.code == core::DiagCode::OrderReduced) {
+      saw_order_reduction = true;
+      EXPECT_GT(d.condition_estimate, 1e10);
+    }
+  }
+  EXPECT_TRUE(saw_order_reduction);
+  // The degraded model still reproduces the waveform.
+  sim::TransientSimulator sim(ckt);
+  sim::AdaptiveOptions aopt;
+  aopt.tolerance = 1e-7;
+  const auto ref = sim.run_adaptive({prev}, 300e-9, aopt);
+  EXPECT_LT(result.approximation.sample(0.0, 300e-9, 1501)
+                .relative_error_vs(ref),
+            0.01);
+}
+
 }  // namespace awesim

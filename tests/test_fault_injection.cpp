@@ -1,0 +1,420 @@
+// Fault-injection harness tests: every rung of the degradation ladder is
+// forced to fire deterministically, and the timing analyzer's per-stage
+// fault isolation is proved bit-identical across thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/engine.h"
+#include "core/fault.h"
+#include "la/lu.h"
+#include "mna/system.h"
+#include "timing/analyzer.h"
+
+// Everything below the injector-API tests needs the probes compiled in;
+// an AWESIM_FAULT_INJECTION=OFF build skips those tests instead of
+// failing them.
+#if AWESIM_FAULT_INJECTION
+#define AWESIM_REQUIRE_INJECTION() (void)0
+#else
+#define AWESIM_REQUIRE_INJECTION() \
+  GTEST_SKIP() << "built with AWESIM_FAULT_INJECTION=OFF"
+#endif
+
+namespace awesim {
+
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::Stimulus;
+using core::ApproxStatus;
+using core::DiagCode;
+using core::Engine;
+using core::EngineOptions;
+using core::FaultInjector;
+using core::FaultRule;
+using core::ScopedFaultInjection;
+
+namespace {
+
+Circuit single_rc(double r = 1e3, double c = 1e-9) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add_vsource("V1", in, kGround, Stimulus::step(0.0, 5.0));
+  ckt.add_resistor("R1", in, out, r);
+  ckt.add_capacitor("C1", out, kGround, c);
+  return ckt;
+}
+
+Circuit rc_ladder(int sections, double r = 1e3, double c = 1e-12) {
+  Circuit ckt;
+  auto prev = ckt.node("in");
+  ckt.add_vsource("V1", prev, kGround, Stimulus::step(0.0, 5.0));
+  for (int i = 1; i <= sections; ++i) {
+    const auto node = ckt.node("n" + std::to_string(i));
+    ckt.add_resistor("R" + std::to_string(i), prev, node, r);
+    ckt.add_capacitor("C" + std::to_string(i), node, kGround, c);
+    prev = node;
+  }
+  return ckt;
+}
+
+bool has_code(const core::Diagnostics& diags, DiagCode code) {
+  for (const auto& d : diags) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+timing::Design chain_design(int gates) {
+  timing::Design d;
+  for (int i = 1; i <= gates; ++i) {
+    d.add_gate({"g" + std::to_string(i), 1e3, 4e-15, 0.0});
+  }
+  for (int i = 1; i < gates; ++i) {
+    timing::Net net;
+    net.name = "n" + std::to_string(i);
+    net.parasitics = {
+        {timing::NetElement::Kind::Resistor, "DRV", "w", 300.0},
+        {timing::NetElement::Kind::Capacitor, "w", "0", 30e-15}};
+    net.sink_node["g" + std::to_string(i + 1)] = "w";
+    d.add_net("g" + std::to_string(i), net);
+  }
+  d.set_primary_input("g1");
+  return d;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// The injector itself.
+
+TEST(FaultInjector, DisarmedProbesNeverFire) {
+  FaultInjector::instance().disarm();
+  EXPECT_FALSE(core::fault_at("la.lu", "3"));
+  EXPECT_FALSE(core::fault_at("anything"));
+  EXPECT_EQ(FaultInjector::instance().fired_total(), 0u);
+}
+
+TEST(FaultInjector, SpecParsingArmsSitesKeysAndLimits) {
+  AWESIM_REQUIRE_INJECTION();
+  FaultInjector& fi = FaultInjector::instance();
+  EXPECT_FALSE(fi.arm_spec(""));
+  ASSERT_TRUE(fi.arm_spec("engine.unstable:2;timing.stage:net1@2"));
+  EXPECT_TRUE(fi.enabled());
+  EXPECT_TRUE(core::fault_at("engine.unstable", "2"));
+  EXPECT_FALSE(core::fault_at("engine.unstable", "3"));
+  // The limited rule fires exactly twice.
+  EXPECT_TRUE(core::fault_at("timing.stage", "net1"));
+  EXPECT_TRUE(core::fault_at("timing.stage", "net1"));
+  EXPECT_FALSE(core::fault_at("timing.stage", "net1"));
+  EXPECT_EQ(fi.fired("timing.stage"), 2u);
+  fi.disarm();
+  EXPECT_FALSE(core::fault_at("engine.unstable", "2"));
+}
+
+TEST(FaultInjector, WildcardKeyMatchesEverything) {
+  AWESIM_REQUIRE_INJECTION();
+  ScopedFaultInjection scoped({{"engine.unstable", "*", -1}});
+  EXPECT_TRUE(core::fault_at("engine.unstable", "1"));
+  EXPECT_TRUE(core::fault_at("engine.unstable", "7"));
+  EXPECT_FALSE(core::fault_at("engine.shift", "1"));
+}
+
+// ---------------------------------------------------------------------
+// Probes in the linear-algebra and MNA layers.
+
+TEST(FaultInjection, LuSingularPivot) {
+  AWESIM_REQUIRE_INJECTION();
+  ScopedFaultInjection scoped({{"la.lu", "2", -1}});
+  la::RealMatrix ident(2, 2);
+  ident(0, 0) = 1.0;
+  ident(1, 1) = 1.0;
+  EXPECT_THROW(la::Lu<double>{ident}, la::SingularMatrixError);
+  // Other dimensions are untouched.
+  la::RealMatrix three(3, 3);
+  three(0, 0) = three(1, 1) = three(2, 2) = 1.0;
+  EXPECT_NO_THROW(la::Lu<double>{three});
+}
+
+TEST(FaultInjection, MnaFactorFailureCarriesDiagnostic) {
+  AWESIM_REQUIRE_INJECTION();
+  ScopedFaultInjection scoped({{"mna.factor", "*", -1}});
+  Circuit ckt = single_rc();
+  Engine engine(ckt);
+  EngineOptions opt;
+  opt.order = 1;
+  try {
+    engine.approximate(ckt.find_node("out"), opt);
+    FAIL() << "expected SingularSystemError";
+  } catch (const mna::SingularSystemError& e) {
+    const core::Diagnostic& d = e.diagnostic();
+    EXPECT_EQ(d.severity, core::Severity::Fatal);
+    // The forced pivot hits a circuit with no real floating nodes, so the
+    // taxonomy reports the pivot itself.
+    EXPECT_EQ(d.code, DiagCode::SingularPivot);
+  }
+}
+
+// ---------------------------------------------------------------------
+// The degradation ladder, rung by rung.
+
+TEST(FaultInjection, WindowShiftRung) {
+  AWESIM_REQUIRE_INJECTION();
+  // Force the eq. 24 window unstable at every order; the Section 3.3
+  // shifted window (not faulted) must rescue the match.
+  ScopedFaultInjection scoped({{"engine.unstable", "*", -1}});
+  Circuit ckt = rc_ladder(4);
+  Engine engine(ckt);
+  EngineOptions opt;
+  opt.order = 2;
+  const auto result = engine.approximate(ckt.find_node("n4"), opt);
+  EXPECT_EQ(result.status, ApproxStatus::WindowShifted);
+  EXPECT_TRUE(result.stable);
+  EXPECT_TRUE(has_code(result.diagnostics, DiagCode::WindowShifted));
+  EXPECT_TRUE(has_code(result.diagnostics, DiagCode::InjectedFault));
+  EXPECT_GE(engine.stats().window_shifts, 1u);
+}
+
+TEST(FaultInjection, OrderStepDownRung) {
+  AWESIM_REQUIRE_INJECTION();
+  // Kill both windows at q=3 only: the ladder must land on a stable
+  // q=2 model and say so.
+  ScopedFaultInjection scoped(
+      {{"engine.unstable", "3", -1}, {"engine.shift", "3", -1}});
+  Circuit ckt = rc_ladder(4);
+  Engine engine(ckt);
+  EngineOptions opt;
+  opt.order = 3;
+  const auto result = engine.approximate(ckt.find_node("n4"), opt);
+  EXPECT_EQ(result.status, ApproxStatus::OrderReduced);
+  EXPECT_TRUE(result.stable);
+  EXPECT_EQ(result.order_used, 2);
+  EXPECT_TRUE(has_code(result.diagnostics, DiagCode::UnstablePoles));
+  EXPECT_TRUE(has_code(result.diagnostics, DiagCode::OrderReduced));
+  EXPECT_GE(engine.stats().order_stepdowns, 1u);
+  EXPECT_GE(engine.stats().degradations, 1u);
+}
+
+TEST(FaultInjection, ElmoreFallbackRung) {
+  AWESIM_REQUIRE_INJECTION();
+  // Kill both windows at every order: only the direct Elmore bound is
+  // left.  On a single RC it is the *exact* answer, so the rung is easy
+  // to verify analytically.
+  ScopedFaultInjection scoped(
+      {{"engine.unstable", "*", -1}, {"engine.shift", "*", -1}});
+  Circuit ckt = single_rc(1e3, 1e-9);
+  Engine engine(ckt);
+  EngineOptions opt;
+  opt.order = 2;
+  const auto result = engine.approximate(ckt.find_node("out"), opt);
+  EXPECT_EQ(result.status, ApproxStatus::ElmoreFallback);
+  EXPECT_TRUE(result.stable);
+  EXPECT_EQ(result.order_used, 1);
+  EXPECT_TRUE(has_code(result.diagnostics, DiagCode::ElmoreFallback));
+  const auto& atoms = result.approximation.atoms();
+  ASSERT_EQ(atoms.size(), 2u);
+  ASSERT_EQ(atoms[1].terms.size(), 1u);
+  const double tau = 1e3 * 1e-9;
+  EXPECT_NEAR(atoms[1].terms[0].pole.real(), -1.0 / tau, 1e-3 / tau);
+  EXPECT_NEAR(result.approximation.final_value(), 5.0, 1e-9);
+  EXPECT_GE(engine.stats().elmore_fallbacks, 1u);
+  EXPECT_TRUE(std::isnan(result.error_estimate));
+}
+
+TEST(FaultInjection, FailedRungOnNaNMoments) {
+  AWESIM_REQUIRE_INJECTION();
+  // Poison the moment window itself: nothing on the ladder can match,
+  // and the result degrades to the affine (DC) part, flagged Failed.
+  ScopedFaultInjection scoped({{"engine.moments", "out", -1}});
+  Circuit ckt = single_rc();
+  Engine engine(ckt);
+  EngineOptions opt;
+  opt.order = 2;
+  const auto result = engine.approximate(ckt.find_node("out"), opt);
+  EXPECT_EQ(result.status, ApproxStatus::Failed);
+  EXPECT_EQ(result.order_used, 0);
+  EXPECT_TRUE(has_code(result.diagnostics, DiagCode::NonFiniteValue));
+  EXPECT_TRUE(has_code(result.diagnostics, DiagCode::InjectedFault));
+  // The degraded answer is still finite everywhere (the DC part).
+  EXPECT_TRUE(std::isfinite(result.approximation.value(1e-6)));
+  EXPECT_GE(engine.stats().failures, 1u);
+}
+
+TEST(FaultInjection, NaNResidueIsCaughtAndDegraded) {
+  AWESIM_REQUIRE_INJECTION();
+  // A non-finite residue must never escape into a "stable" model; with
+  // the shifted window also poisoned the ladder steps down.
+  ScopedFaultInjection scoped(
+      {{"engine.residue", "2", -1}, {"engine.shift", "2", -1}});
+  Circuit ckt = rc_ladder(4);
+  Engine engine(ckt);
+  EngineOptions opt;
+  opt.order = 2;
+  const auto result = engine.approximate(ckt.find_node("n4"), opt);
+  EXPECT_TRUE(result.stable);
+  EXPECT_NE(result.status, ApproxStatus::Ok);
+  for (const auto& atom : result.approximation.atoms()) {
+    for (const auto& term : atom.terms) {
+      EXPECT_TRUE(std::isfinite(term.residue.real()));
+      EXPECT_TRUE(std::isfinite(term.pole.real()));
+    }
+  }
+}
+
+TEST(FaultInjection, HankelProbeForcesInternalOrderReduction) {
+  AWESIM_REQUIRE_INJECTION();
+  // Rejecting the q=3 Hankel solve inside match_moments makes the match
+  // itself deliver a lower order -- the pre-ladder reduction path.
+  ScopedFaultInjection scoped({{"pade.hankel", "3", -1}});
+  Circuit ckt = rc_ladder(6);
+  Engine engine(ckt);
+  EngineOptions opt;
+  opt.order = 3;
+  opt.estimate_error = false;
+  const auto result = engine.approximate(ckt.find_node("n6"), opt);
+  EXPECT_TRUE(result.stable);
+  EXPECT_EQ(result.order_used, 2);
+}
+
+TEST(FaultInjection, LadderDisabledReturnsRawInstability) {
+  AWESIM_REQUIRE_INJECTION();
+  // EngineOptions::degrade = false restores the legacy contract: the
+  // unstable match comes back unmodified, flagged via Result::stable.
+  ScopedFaultInjection scoped(
+      {{"engine.unstable", "*", -1}, {"engine.shift", "*", -1}});
+  Circuit ckt = single_rc();
+  Engine engine(ckt);
+  EngineOptions opt;
+  opt.order = 2;
+  opt.degrade = false;
+  const auto result = engine.approximate(ckt.find_node("out"), opt);
+  EXPECT_FALSE(result.stable);
+  EXPECT_EQ(result.status, ApproxStatus::Ok);
+}
+
+TEST(FaultInjection, LadderIsDeterministic) {
+  AWESIM_REQUIRE_INJECTION();
+  // Two identical runs under identical injection produce bit-identical
+  // results -- the rules are pure functions of (site, key).
+  ScopedFaultInjection scoped(
+      {{"engine.unstable", "3", -1}, {"engine.shift", "3", -1}});
+  Circuit ckt = rc_ladder(5);
+  EngineOptions opt;
+  opt.order = 3;
+  Engine e1(ckt);
+  Engine e2(ckt);
+  const auto r1 = e1.approximate(ckt.find_node("n5"), opt);
+  const auto r2 = e2.approximate(ckt.find_node("n5"), opt);
+  EXPECT_EQ(r1.status, r2.status);
+  EXPECT_EQ(r1.order_used, r2.order_used);
+  EXPECT_EQ(r1.diagnostics.size(), r2.diagnostics.size());
+  for (double t : {1e-10, 1e-9, 5e-9}) {
+    EXPECT_EQ(r1.approximation.value(t), r2.approximation.value(t));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Timing-analyzer fault isolation.
+
+TEST(FaultInjection, FailingStageDegradesToElmoreAndAnalysisContinues) {
+  AWESIM_REQUIRE_INJECTION();
+  ScopedFaultInjection scoped({{"timing.stage", "n1", -1}});
+  timing::Design d = chain_design(4);
+  const auto report = d.analyze();
+  ASSERT_EQ(report.stages.size(), 3u);
+  EXPECT_EQ(report.failed_stages, 1u);
+  EXPECT_TRUE(has_code(report.diagnostics, DiagCode::StageFailed));
+  for (const auto& st : report.stages) {
+    if (st.net == "n1") {
+      EXPECT_TRUE(st.failed);
+      EXPECT_TRUE(st.degraded);
+    } else {
+      EXPECT_FALSE(st.failed);
+    }
+    for (const auto& sink : st.sinks) {
+      EXPECT_TRUE(std::isfinite(sink.arrival));
+      EXPECT_GT(sink.stage_delay, 0.0);
+    }
+  }
+  // Downstream arrivals kept accumulating through the degraded stage.
+  EXPECT_GT(report.gate_arrival.at("g4"), report.gate_arrival.at("g3"));
+  EXPECT_GT(report.gate_arrival.at("g3"), report.gate_arrival.at("g2"));
+  EXPECT_GE(report.awe_stats.failures, 1u);
+}
+
+TEST(FaultInjection, PoolJobFaultIsIsolatedToItsStage) {
+  AWESIM_REQUIRE_INJECTION();
+  ScopedFaultInjection scoped({{"parallel.job", "n2", -1}});
+  timing::Design d = chain_design(4);
+  const auto report = d.analyze();
+  ASSERT_EQ(report.stages.size(), 3u);
+  EXPECT_EQ(report.failed_stages, 1u);
+  for (const auto& st : report.stages) {
+    EXPECT_EQ(st.failed, st.net == "n2");
+  }
+}
+
+TEST(FaultInjection, DegradedReportIsIdenticalAcrossThreadCounts) {
+  AWESIM_REQUIRE_INJECTION();
+  // The whole point of keying injection on (site, key): a faulted run
+  // must stay bit-identical whether stages run serially or on a pool.
+  // The design fans out so each wavefront holds several concurrent jobs.
+  ScopedFaultInjection scoped(
+      {{"timing.stage", "n2", -1}, {"engine.unstable", "*", -1}});
+  timing::Design d;
+  for (int i = 1; i <= 5; ++i) {
+    d.add_gate({"g" + std::to_string(i), 1e3, 4e-15, 0.0});
+  }
+  for (int i = 1; i <= 3; ++i) {
+    timing::Net net;
+    net.name = "n" + std::to_string(i);
+    net.parasitics = {
+        {timing::NetElement::Kind::Resistor, "DRV", "w", 200.0 * i},
+        {timing::NetElement::Kind::Capacitor, "w", "0", 20e-15 * i}};
+    net.sink_node["g" + std::to_string(i + 1)] = "w";
+    d.add_net("g1", net);
+  }
+  for (int i = 2; i <= 4; ++i) {
+    timing::Net net;
+    net.name = "m" + std::to_string(i);
+    net.parasitics = {
+        {timing::NetElement::Kind::Resistor, "DRV", "w", 300.0},
+        {timing::NetElement::Kind::Capacitor, "w", "0", 25e-15}};
+    net.sink_node["g5"] = "w";
+    d.add_net("g" + std::to_string(i), net);
+  }
+  d.set_primary_input("g1");
+  timing::AnalysisOptions aopt;
+  aopt.threads = 1;
+  const auto serial = d.analyze(aopt);
+  for (int threads : {2, 4}) {
+    aopt.threads = threads;
+    const auto parallel = d.analyze(aopt);
+    EXPECT_EQ(parallel.critical_delay, serial.critical_delay);
+    EXPECT_EQ(parallel.failed_stages, serial.failed_stages);
+    EXPECT_EQ(parallel.degraded_stages, serial.degraded_stages);
+    EXPECT_EQ(parallel.diagnostics.size(), serial.diagnostics.size());
+    ASSERT_EQ(parallel.stages.size(), serial.stages.size());
+    for (std::size_t i = 0; i < serial.stages.size(); ++i) {
+      EXPECT_EQ(parallel.stages[i].net, serial.stages[i].net);
+      EXPECT_EQ(parallel.stages[i].failed, serial.stages[i].failed);
+      ASSERT_EQ(parallel.stages[i].sinks.size(),
+                serial.stages[i].sinks.size());
+      for (std::size_t s = 0; s < serial.stages[i].sinks.size(); ++s) {
+        EXPECT_EQ(parallel.stages[i].sinks[s].arrival,
+                  serial.stages[i].sinks[s].arrival);
+        EXPECT_EQ(parallel.stages[i].sinks[s].slew,
+                  serial.stages[i].sinks[s].slew);
+      }
+    }
+    for (const auto& [gate, arrival] : serial.gate_arrival) {
+      EXPECT_EQ(parallel.gate_arrival.at(gate), arrival);
+    }
+  }
+}
+
+}  // namespace awesim
