@@ -23,9 +23,11 @@
 #include "circuit/circuit.h"
 #include "core/engine.h"
 #include "core/parallel.h"
+#include "harness.h"
 #include "timing/analyzer.h"
 
 using namespace awesim;
+using bench::seconds_since;
 
 namespace {
 
@@ -53,12 +55,6 @@ circuit::Circuit comb_net(std::vector<circuit::NodeId>& sinks) {
     spine = next;
   }
   return ckt;
-}
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       t0)
-      .count();
 }
 
 // A wide gate-level design: `chains` parallel 4-stage chains fanning out

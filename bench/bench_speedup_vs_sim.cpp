@@ -8,37 +8,18 @@
 // and the agreement of the 50% delay estimate.  Also timed: the O(n)
 // tree-walk Elmore path (the "first-order AWE without any factorization"
 // of Section IV).
-#include <chrono>
 #include <cstdio>
 #include <optional>
 
 #include "bench_common.h"
 #include "circuits/paper_circuits.h"
 #include "core/engine.h"
+#include "harness.h"
 #include "rctree/rctree.h"
 #include "sim/transient.h"
 
 using namespace awesim;
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-template <typename F>
-double time_ms(F&& fn, int repeats) {
-  // Best of `repeats` runs, in milliseconds.
-  double best = 1e300;
-  for (int i = 0; i < repeats; ++i) {
-    const auto t0 = Clock::now();
-    fn();
-    const auto t1 = Clock::now();
-    best = std::min(
-        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
-  }
-  return best;
-}
-
-}  // namespace
+using bench::time_ms_best;
 
 int main() {
   bench::print_header("SPEEDUP",
@@ -56,7 +37,7 @@ int main() {
     // Tree-walk Elmore (no factorization at all).
     const auto tree = rctree::extract(ckt);
     double elmore = 0.0;
-    const double t_elmore = time_ms(
+    const double t_elmore = time_ms_best(
         [&] {
           const auto d = rctree::elmore_delays(*tree);
           elmore = d.back();
@@ -66,7 +47,7 @@ int main() {
     // AWE q=3.
     std::optional<double> delay_awe;
     const double horizon = 10.0 * elmore;
-    const double t_awe = time_ms(
+    const double t_awe = time_ms_best(
         [&] {
           core::Engine engine(ckt);
           core::EngineOptions opt;
@@ -82,7 +63,7 @@ int main() {
     // with 2000 steps over the transient window (a coarse but usable
     // SPICE-style run; the adaptive reference would be slower still).
     std::optional<double> delay_sim;
-    const double t_sim = time_ms(
+    const double t_sim = time_ms_best(
         [&] {
           sim::TransientSimulator sim(ckt);
           sim::TransientOptions sopt;

@@ -6,36 +6,18 @@
 // included, the LU factors need not be found at all"; the grounded
 // resistor adds exactly one link unknown and keeps the moment cost linear
 // (eqs. 51-62).
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
 #include "circuits/paper_circuits.h"
 #include "core/moments.h"
+#include "harness.h"
 #include "mna/system.h"
 #include "rctree/rctree.h"
 #include "treelink/treelink.h"
 
 using namespace awesim;
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-template <typename F>
-double time_ms(F&& fn, int repeats) {
-  double best = 1e300;
-  for (int i = 0; i < repeats; ++i) {
-    const auto t0 = Clock::now();
-    fn();
-    const auto t1 = Clock::now();
-    best = std::min(
-        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
-  }
-  return best;
-}
-
-}  // namespace
+using bench::time_ms_best;
 
 int main() {
   bench::print_header("ABLATION: TREE/LINK MOMENTS",
@@ -50,14 +32,14 @@ int main() {
     treelink::TreeLinkSystem tl(ckt);
 
     double checksum = 0.0;
-    const double t_tl = time_ms(
+    const double t_tl = time_ms_best(
         [&] {
           treelink::TreeLinkSystem sys(ckt);
           const auto mus = sys.moments(9);
           checksum += mus.back()[0];
         },
         3);
-    const double t_mna = time_ms(
+    const double t_mna = time_ms_best(
         [&] {
           mna::MnaSystem mna(ckt);
           la::RealVector xh0(mna.dim(), 0.0);

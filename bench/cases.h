@@ -1,0 +1,27 @@
+// Registration entry points for the unified `awesim_bench` runner.  The
+// harness lives in a static library, so each translation unit of cases
+// exposes an explicit registration function instead of relying on static
+// initializers the linker may drop.
+#pragma once
+
+#include <mutex>
+
+namespace awesim::bench {
+
+/// The per-figure step-response reproductions (Figs. 7, 15, 17, 26).
+void register_figure_cases();
+
+/// The scaling/amortization cases: the Section I speedup-vs-simulation
+/// RC lines, the 32-sink batch net, the parallel timing wavefront.
+void register_scaling_cases();
+
+/// Idempotent: registers every case exactly once.
+inline void ensure_all_registered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_figure_cases();
+    register_scaling_cases();
+  });
+}
+
+}  // namespace awesim::bench

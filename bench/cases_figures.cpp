@@ -1,0 +1,99 @@
+// The per-figure step-response cases of the unified runner: each one
+// times the full AWE pipeline (fresh Engine + approximate, the bare
+// production configuration) on one paper circuit against the
+// fixed-step transient reference, and reports the normalized L2
+// waveform error as its accuracy metric.
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "cases.h"
+#include "circuits/paper_circuits.h"
+#include "core/engine.h"
+#include "harness.h"
+#include "sim/transient.h"
+
+namespace awesim::bench {
+
+namespace {
+
+struct FigureState {
+  circuit::Circuit ckt;
+  circuit::NodeId out;
+  double horizon = 0.0;
+  core::EngineOptions eopt;
+  core::Result last;
+  waveform::Waveform reference;
+};
+
+BenchCase figure_case(std::string name, std::string paper_ref, int order,
+                      double horizon, const std::string& out_node,
+                      std::function<circuit::Circuit()> make) {
+  BenchCase c;
+  c.name = std::move(name);
+  c.paper_ref = std::move(paper_ref);
+  c.accuracy_metric = "rel_l2_vs_sim";
+  c.problem_size = make().node_count();
+  c.prepare = [make = std::move(make), out_node, order, horizon] {
+    auto state = std::make_shared<FigureState>();
+    state->ckt = make();
+    state->out = state->ckt.find_node(out_node);
+    state->horizon = horizon;
+    // Bare production configuration (the Fig. 19 cost model): requested
+    // order only, no q-vs-(q+1) error estimation.
+    state->eopt.order = order;
+    state->eopt.estimate_error = false;
+    state->eopt.jump_consistent = false;
+    PreparedCase p;
+    p.run = [state] {
+      core::Engine engine(state->ckt);
+      state->last = engine.approximate(state->out, state->eopt);
+    };
+    p.reference = [state] {
+      sim::TransientSimulator sim(state->ckt);
+      sim::TransientOptions sopt;
+      sopt.timestep = state->horizon / 2000.0;
+      state->reference = sim.run({state->out}, state->horizon, sopt);
+    };
+    p.accuracy = [state] {
+      const auto wave =
+          state->last.approximation.sample(0.0, state->horizon, 2001);
+      return wave.relative_error_vs(state->reference);
+    };
+    return p;
+  };
+  return c;
+}
+
+}  // namespace
+
+void register_figure_cases() {
+  // Fig. 7: first-order (q=1) step response of the fig. 4 RC tree;
+  // Elmore(n4) = 0.6 ms sets the 3 ms window.
+  register_bench(figure_case("fig07.firstorder_step", "Fig. 7", 1, 3e-3,
+                             "n4", [] {
+                               return circuits::fig4_rc_tree();
+                             }));
+  // Fig. 15: the q=2 match on the same tree (the paper's visually exact
+  // second-order curve).
+  register_bench(figure_case("fig15.secondorder_step", "Fig. 15", 2, 3e-3,
+                             "n4", [] {
+                               return circuits::fig4_rc_tree();
+                             }));
+  // Fig. 17: stiff MOS interconnect tree driven through a 1 ns ramp;
+  // dominant time constant ~0.55 ns.
+  register_bench(figure_case("fig17.mos_interconnect", "Figs. 17/18", 2,
+                             8e-9, "n7", [] {
+                               return circuits::fig16_mos_interconnect(
+                                   {0.0, 5.0, 1e-9});
+                             }));
+  // Fig. 26: underdamped RLC ladder, q=4 captures the two dominant
+  // complex pairs (overshoot and ring).
+  register_bench(figure_case("fig26.rlc_underdamped", "Figs. 26/27", 4,
+                             1e-8, "n3", [] {
+                               return circuits::fig25_rlc_ladder();
+                             }));
+}
+
+}  // namespace awesim::bench

@@ -1,0 +1,238 @@
+// Scaling and amortization cases of the unified runner:
+//
+//   * speedup.rc_line_*: the Section I "1000x faster than simulation"
+//     claim on uniform RC lines -- AWE q=3 vs the fixed-step transient
+//     reference, accuracy = 50% delay disagreement;
+//   * batch.multisink32: one Engine::approximate_all over a 32-sink
+//     comb net (accuracy = worst waveform deviation vs the per-output
+//     pipelines, expected bitwise 0);
+//   * timing.wavefront: the levelized parallel timing analyzer
+//     (accuracy = critical-delay deviation vs the serial walk,
+//     expected bitwise 0).
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cases.h"
+#include "circuit/circuit.h"
+#include "circuits/paper_circuits.h"
+#include "core/engine.h"
+#include "harness.h"
+#include "sim/transient.h"
+#include "timing/analyzer.h"
+
+namespace awesim::bench {
+
+namespace {
+
+core::EngineOptions bare_options(int order) {
+  core::EngineOptions opt;
+  opt.order = order;
+  opt.estimate_error = false;
+  opt.jump_consistent = false;
+  return opt;
+}
+
+struct LineState {
+  circuit::Circuit ckt;
+  circuit::NodeId out;
+  double horizon = 0.0;
+  std::optional<double> delay_awe;
+  std::optional<double> delay_sim;
+};
+
+BenchCase rc_line_case(std::size_t sections, bool quick_tier) {
+  BenchCase c;
+  c.name = "speedup.rc_line_" + std::to_string(sections);
+  c.paper_ref = "Section I";
+  c.accuracy_metric = "delay50_rel_err_vs_sim";
+  c.problem_size = sections;
+  c.quick_tier = quick_tier;
+  c.prepare = [sections] {
+    auto state = std::make_shared<LineState>();
+    const double r_total = 1e3 * static_cast<double>(sections);
+    const double c_total = 1e-12 * static_cast<double>(sections);
+    state->ckt = circuits::rc_line(sections, r_total, c_total);
+    state->out = state->ckt.find_node("n" + std::to_string(sections));
+    // Elmore delay of the uniform line is ~RC/2; 4x the full RC product
+    // comfortably covers the 50% crossing and the settling tail.
+    state->horizon = 4.0 * r_total * c_total;
+    PreparedCase p;
+    p.run = [state] {
+      core::Engine engine(state->ckt);
+      const auto r = engine.approximate(state->out, bare_options(3));
+      state->delay_awe =
+          r.approximation.first_crossing(2.5, 0.0, state->horizon);
+    };
+    p.reference = [state] {
+      sim::TransientSimulator sim(state->ckt);
+      sim::TransientOptions sopt;
+      sopt.timestep = state->horizon / 2000.0;
+      const auto w = sim.run({state->out}, state->horizon, sopt);
+      state->delay_sim = w.first_crossing(2.5);
+    };
+    p.accuracy = [state]() -> double {
+      if (!state->delay_awe || !state->delay_sim ||
+          *state->delay_sim == 0.0) {
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+      return std::abs(*state->delay_awe - *state->delay_sim) /
+             *state->delay_sim;
+    };
+    return p;
+  };
+  return c;
+}
+
+constexpr std::size_t kSinks = 32;
+
+// The 32-sink interconnect comb of bench_batch_multisink: a resistive
+// spine with one RC branch and one loaded sink tap per section.
+circuit::Circuit comb_net(std::vector<circuit::NodeId>& sinks) {
+  circuit::Circuit ckt;
+  const auto vin = ckt.node("in");
+  ckt.add_vsource("Vdrv", vin, circuit::kGround,
+                  circuit::Stimulus::ramp_step(0.0, 5.0, 0.1e-9));
+  auto spine = ckt.node("s0");
+  ckt.add_resistor("Rdrv", vin, spine, 200.0);
+  for (std::size_t i = 0; i < kSinks; ++i) {
+    const std::string tag = std::to_string(i);
+    const auto next = ckt.node("s" + std::to_string(i + 1));
+    ckt.add_resistor("Rs" + tag, spine, next, 40.0);
+    ckt.add_capacitor("Cs" + tag, next, circuit::kGround, 8e-15);
+    const auto sink = ckt.node("t" + tag);
+    ckt.add_resistor("Rt" + tag, next, sink, 120.0);
+    ckt.add_capacitor("Ct" + tag, sink, circuit::kGround, 12e-15);
+    sinks.push_back(sink);
+    spine = next;
+  }
+  return ckt;
+}
+
+struct BatchState {
+  circuit::Circuit ckt;
+  std::vector<circuit::NodeId> sinks;
+  std::vector<core::Result> batch;
+};
+
+BenchCase batch_case() {
+  BenchCase c;
+  c.name = "batch.multisink32";
+  c.paper_ref = "Fig. 19 (amortization)";
+  c.accuracy_metric = "max_abs_dev_vs_peroutput_V";
+  c.problem_size = kSinks;
+  c.prepare = [] {
+    auto state = std::make_shared<BatchState>();
+    state->ckt = comb_net(state->sinks);
+    PreparedCase p;
+    p.run = [state] {
+      core::Engine engine(state->ckt);
+      state->batch =
+          engine.approximate_all(state->sinks, bare_options(3)).results;
+    };
+    p.accuracy = [state] {
+      // Per-output pipelines must reproduce the batch bitwise.
+      double max_dev = 0.0;
+      for (std::size_t i = 0; i < state->sinks.size(); ++i) {
+        core::Engine engine(state->ckt);
+        const auto single =
+            engine.approximate(state->sinks[i], bare_options(3));
+        for (int k = 0; k <= 50; ++k) {
+          const double t = 2e-9 * k / 50.0;
+          max_dev = std::max(
+              max_dev,
+              std::abs(single.approximation.value(t) -
+                       state->batch[i].approximation.value(t)));
+        }
+      }
+      return max_dev;
+    };
+    return p;
+  };
+  return c;
+}
+
+// A wide gate-level design: `chains` parallel 4-stage chains fanning
+// out of one root driver, so every wavefront past the first holds
+// `chains` independent stages.
+timing::Design wide_design(std::size_t chains) {
+  timing::Design d;
+  d.add_gate({"root", 500.0, 4e-15, 0.0});
+  d.set_primary_input("root");
+  timing::Net fan;
+  fan.name = "fanout";
+  fan.parasitics = {{timing::NetElement::Kind::Resistor, "DRV", "h", 150.0},
+                    {timing::NetElement::Kind::Capacitor, "h", "0", 20e-15}};
+  for (std::size_t c = 0; c < chains; ++c) {
+    fan.sink_node["g" + std::to_string(c) + "_0"] = "h";
+  }
+  for (std::size_t c = 0; c < chains; ++c) {
+    for (int s = 0; s < 4; ++s) {
+      const std::string name =
+          "g" + std::to_string(c) + "_" + std::to_string(s);
+      d.add_gate({name, 800.0 + 60.0 * static_cast<double>(c), 5e-15,
+                  5e-12});
+      if (s > 0) {
+        timing::Net net;
+        net.name = name + "_in";
+        net.parasitics = {
+            {timing::NetElement::Kind::Resistor, "DRV", "w",
+             300.0 + 25.0 * static_cast<double>(s)},
+            {timing::NetElement::Kind::Capacitor, "w", "0", 30e-15}};
+        net.sink_node[name] = "w";
+        d.add_net("g" + std::to_string(c) + "_" + std::to_string(s - 1),
+                  net);
+      }
+    }
+  }
+  d.add_net("root", fan);
+  return d;
+}
+
+struct WavefrontState {
+  timing::Design design;
+  timing::TimingReport parallel;
+
+  WavefrontState() : design(wide_design(8)) {}
+};
+
+BenchCase wavefront_case() {
+  BenchCase c;
+  c.name = "timing.wavefront";
+  c.paper_ref = "timing analyzer";
+  c.accuracy_metric = "critical_delay_abs_dev_vs_serial_s";
+  c.problem_size = 8 * 4 + 1;  // gates in wide_design(8)
+  c.prepare = [] {
+    auto state = std::make_shared<WavefrontState>();
+    PreparedCase p;
+    p.run = [state] {
+      timing::AnalysisOptions opt;
+      opt.threads = 0;  // hardware concurrency
+      state->parallel = state->design.analyze(opt);
+    };
+    p.accuracy = [state] {
+      timing::AnalysisOptions opt;
+      opt.threads = 1;
+      const auto serial = state->design.analyze(opt);
+      return std::abs(serial.critical_delay -
+                      state->parallel.critical_delay);
+    };
+    return p;
+  };
+  return c;
+}
+
+}  // namespace
+
+void register_scaling_cases() {
+  register_bench(rc_line_case(200, /*quick_tier=*/true));
+  register_bench(rc_line_case(1000, /*quick_tier=*/false));
+  register_bench(batch_case());
+  register_bench(wavefront_case());
+}
+
+}  // namespace awesim::bench

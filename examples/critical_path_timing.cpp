@@ -2,8 +2,16 @@
 // paths reconverging) with per-net parasitics, analyzed with the
 // AWE-backed stage timing engine.  Prints the per-stage timing report,
 // arrival times, and the critical path.
+//
+// With --json, emits the whole report as one machine-readable JSON
+// document instead (report + AWE cost counters + phase-time breakdown;
+// tracing is force-enabled so the breakdown is populated).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "timing/analyzer.h"
 
 using namespace awesim;
@@ -21,9 +29,92 @@ NetElement c(const std::string& a, double v) {
   return {NetElement::Kind::Capacitor, a, "0", v};
 }
 
+obs::json::Value report_json(const timing::TimingReport& report) {
+  using obs::json::Value;
+  Value doc = Value::object();
+  doc.set("schema", "awesim-timing-report");
+  doc.set("schema_version", 1);
+  doc.set("critical_delay", report.critical_delay);
+  Value path = Value::array();
+  for (const auto& g : report.critical_path) path.push_back(g);
+  doc.set("critical_path", std::move(path));
+  doc.set("levels", static_cast<double>(report.levels));
+  doc.set("degraded_stages", static_cast<double>(report.degraded_stages));
+  doc.set("failed_stages", static_cast<double>(report.failed_stages));
+
+  Value arrivals = Value::object();
+  for (const auto& [gate, t] : report.gate_arrival) arrivals.set(gate, t);
+  doc.set("gate_arrival", std::move(arrivals));
+
+  Value stages = Value::array();
+  for (const auto& st : report.stages) {
+    Value s = Value::object();
+    s.set("driver", st.driver_gate);
+    s.set("net", st.net);
+    s.set("input_arrival", st.input_arrival);
+    s.set("awe_order_used", st.awe_order_used);
+    s.set("degraded", st.degraded);
+    s.set("failed", st.failed);
+    Value sinks = Value::array();
+    for (const auto& sk : st.sinks) {
+      Value v = Value::object();
+      v.set("gate", sk.gate);
+      v.set("stage_delay", sk.stage_delay);
+      v.set("slew", sk.slew);
+      v.set("arrival", sk.arrival);
+      sinks.push_back(std::move(v));
+    }
+    s.set("sinks", std::move(sinks));
+    stages.push_back(std::move(s));
+  }
+  doc.set("stages", std::move(stages));
+
+  const core::Stats& st = report.awe_stats;
+  Value stats = Value::object();
+  stats.set("factorizations", static_cast<double>(st.factorizations));
+  stats.set("substitutions", static_cast<double>(st.substitutions));
+  stats.set("matches", static_cast<double>(st.matches));
+  stats.set("outputs", static_cast<double>(st.outputs));
+  stats.set("stages", static_cast<double>(st.stages));
+  stats.set("window_shifts", static_cast<double>(st.window_shifts));
+  stats.set("order_stepdowns", static_cast<double>(st.order_stepdowns));
+  stats.set("elmore_fallbacks", static_cast<double>(st.elmore_fallbacks));
+  stats.set("degradations", static_cast<double>(st.degradations));
+  stats.set("failures", static_cast<double>(st.failures));
+  stats.set("seconds_setup", st.seconds_setup);
+  stats.set("seconds_moments", st.seconds_moments);
+  stats.set("seconds_match", st.seconds_match);
+  doc.set("stats", std::move(stats));
+
+  Value phases = Value::array();
+  for (const auto& p : st.phases) {
+    Value ph = Value::object();
+    ph.set("name", p.name);
+    ph.set("count", static_cast<double>(p.stats.count));
+    ph.set("total_seconds", p.stats.total_seconds);
+    ph.set("min_seconds", p.stats.min_seconds);
+    ph.set("max_seconds", p.stats.max_seconds);
+    phases.push_back(std::move(ph));
+  }
+  doc.set("phases", std::move(phases));
+  doc.set("wall_seconds", report.wall_seconds);
+  return doc;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool emit_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (emit_json) obs::set_tracing(true);
+
   Design d;
   // Gates: name, drive resistance, input cap, intrinsic delay.
   d.add_gate({"in_buf", 800.0, 3e-15, 15e-12});
@@ -74,6 +165,12 @@ int main() {
   opt.swing = 5.0;
   opt.input_slew = 0.08e-9;
   const auto report = d.analyze(opt);
+
+  if (emit_json) {
+    // Pure JSON on stdout: pipeable straight into jq or a dashboard.
+    std::printf("%s\n", report_json(report).dump(2).c_str());
+    return 0;
+  }
 
   std::printf("Stage timing report (AWE-backed delay calculation)\n\n");
   std::printf("%-14s %-11s %12s %12s %12s %12s %4s\n", "driver", "net",

@@ -7,6 +7,7 @@
 
 #include "core/error.h"
 #include "core/fault.h"
+#include "obs/trace.h"
 
 namespace awesim::core {
 
@@ -265,6 +266,7 @@ BatchResult Engine::approximate_all(
   // block.  Auto-order escalation beyond this window extends lazily.
   auto& atoms = atom_problems();
   {
+    AWESIM_TRACE_SPAN("engine.moments");
     ScopedTimer timer(stats_.seconds_moments);
     const int j0 = options.match_initial_slope ? -2 : -1;
     const int mu_count =
@@ -508,6 +510,7 @@ Result Engine::approximate_at(std::size_t out,
           options.estimate_error ? 2 * (q + 1) + 1 : 2 * q + 1;
       std::vector<double> mu;
       {
+        AWESIM_TRACE_SPAN("engine.moments");
         ScopedTimer timer(stats_.seconds_moments);
         for (int j = j0; j < j0 + mu_count; ++j) {
           double v = problem.moments.mu(j, out);

@@ -8,6 +8,7 @@
 #include "core/fault.h"
 #include "la/lu.h"
 #include "la/poly.h"
+#include "obs/trace.h"
 
 namespace awesim::core {
 
@@ -77,30 +78,33 @@ bool try_match(const std::vector<double>& mu, int j0, int q,
 
   // Hankel system (eq. 24): rows r = 0..q-1,
   //   sum_c mu'_{j0+shift+r+c} a_c = -mu'_{j0+shift+r+q}.
-  la::RealMatrix hankel(static_cast<std::size_t>(q),
-                        static_cast<std::size_t>(q));
-  la::RealVector rhs(static_cast<std::size_t>(q));
-  for (int r = 0; r < q; ++r) {
-    for (int c = 0; c < q; ++c) {
-      hankel(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
-          scaled[static_cast<std::size_t>(shift + r + c)];
-    }
-    rhs[static_cast<std::size_t>(r)] =
-        -scaled[static_cast<std::size_t>(shift + r + q)];
-  }
   la::RealVector a;
-  try {
-    la::Lu<double> lu(hankel);
-    // A pivot spread beyond ~1e13 means the (scaled) moment sequence has
-    // numerical rank < q: the circuit response carries fewer than q
-    // resolvable modes.  Reduce the order rather than manufacture
-    // spurious poles from rounding noise.
-    out->hankel_pivot_growth = lu.pivot_growth();
-    if (out->hankel_pivot_growth > 1e13) return false;
-    a = lu.solve(rhs);
-  } catch (const la::SingularMatrixError&) {
-    out->hankel_pivot_growth = std::numeric_limits<double>::infinity();
-    return false;
+  {
+    AWESIM_TRACE_SPAN("pade.hankel");
+    la::RealMatrix hankel(static_cast<std::size_t>(q),
+                          static_cast<std::size_t>(q));
+    la::RealVector rhs(static_cast<std::size_t>(q));
+    for (int r = 0; r < q; ++r) {
+      for (int c = 0; c < q; ++c) {
+        hankel(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+            scaled[static_cast<std::size_t>(shift + r + c)];
+      }
+      rhs[static_cast<std::size_t>(r)] =
+          -scaled[static_cast<std::size_t>(shift + r + q)];
+    }
+    try {
+      la::Lu<double> lu(hankel);
+      // A pivot spread beyond ~1e13 means the (scaled) moment sequence
+      // has numerical rank < q: the circuit response carries fewer than q
+      // resolvable modes.  Reduce the order rather than manufacture
+      // spurious poles from rounding noise.
+      out->hankel_pivot_growth = lu.pivot_growth();
+      if (out->hankel_pivot_growth > 1e13) return false;
+      a = lu.solve(rhs);
+    } catch (const la::SingularMatrixError&) {
+      out->hankel_pivot_growth = std::numeric_limits<double>::infinity();
+      return false;
+    }
   }
 
   // Characteristic polynomial (eq. 25) in y = 1/p':
@@ -108,10 +112,13 @@ bool try_match(const std::vector<double>& mu, int j0, int q,
   la::RealVector coeffs(a);
   coeffs.push_back(1.0);
   la::ComplexVector roots;
-  try {
-    roots = la::polyroots(coeffs);
-  } catch (const std::exception&) {
-    return false;
+  {
+    AWESIM_TRACE_SPAN("pade.roots");
+    try {
+      roots = la::polyroots(coeffs);
+    } catch (const std::exception&) {
+      return false;
+    }
   }
   double max_root = 0.0;
   for (const auto& y : roots) max_root = std::max(max_root, std::abs(y));
@@ -127,26 +134,29 @@ bool try_match(const std::vector<double>& mu, int j0, int q,
   // (eq. 20 for distinct poles, the eq. 26-29 pattern when repeated).
   const auto clusters =
       cluster_poles(scaled_poles, options.repeated_pole_tolerance);
-  la::ComplexMatrix vand(static_cast<std::size_t>(q),
-                         static_cast<std::size_t>(q));
-  la::ComplexVector vrhs(static_cast<std::size_t>(q));
-  for (int r = 0; r < q; ++r) {
-    const int j = j0 + r;
-    std::size_t col = 0;
-    for (const auto& c : clusters) {
-      for (int l = 1; l <= c.multiplicity; ++l, ++col) {
-        vand(static_cast<std::size_t>(r), col) =
-            moment_coefficient(c.pole, l, j);
-      }
-    }
-    vrhs[static_cast<std::size_t>(r)] =
-        la::Complex(scaled[static_cast<std::size_t>(r)], 0.0);
-  }
   la::ComplexVector residues;
-  try {
-    residues = la::solve(vand, vrhs);
-  } catch (const la::SingularMatrixError&) {
-    return false;
+  {
+    AWESIM_TRACE_SPAN("engine.residues");
+    la::ComplexMatrix vand(static_cast<std::size_t>(q),
+                           static_cast<std::size_t>(q));
+    la::ComplexVector vrhs(static_cast<std::size_t>(q));
+    for (int r = 0; r < q; ++r) {
+      const int j = j0 + r;
+      std::size_t col = 0;
+      for (const auto& c : clusters) {
+        for (int l = 1; l <= c.multiplicity; ++l, ++col) {
+          vand(static_cast<std::size_t>(r), col) =
+              moment_coefficient(c.pole, l, j);
+        }
+      }
+      vrhs[static_cast<std::size_t>(r)] =
+          la::Complex(scaled[static_cast<std::size_t>(r)], 0.0);
+    }
+    try {
+      residues = la::solve(vand, vrhs);
+    } catch (const la::SingularMatrixError&) {
+      return false;
+    }
   }
 
   // Prune terms whose (scaled-domain) residue is negligible: they are

@@ -18,6 +18,7 @@ Stats& Stats::operator+=(const Stats& other) {
   seconds_setup += other.seconds_setup;
   seconds_moments += other.seconds_moments;
   seconds_match += other.seconds_match;
+  obs::merge_into(phases, other.phases);
   return *this;
 }
 
@@ -35,6 +36,7 @@ Stats& Stats::operator-=(const Stats& other) {
   seconds_setup -= other.seconds_setup;
   seconds_moments -= other.seconds_moments;
   seconds_match -= other.seconds_match;
+  obs::subtract_into(phases, other.phases);
   return *this;
 }
 

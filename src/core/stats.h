@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace awesim::core {
 
 struct Stats {
@@ -47,6 +49,15 @@ struct Stats {
   double seconds_setup = 0.0;    // atom building: LU + particular solutions
   double seconds_moments = 0.0;  // moment recursion and gathering
   double seconds_match = 0.0;    // per-output pole/residue matching
+
+  /// Fine-grained span-tracer breakdown (obs/trace.h taxonomy:
+  /// mna.factor, engine.moments, pade.hankel, pade.roots,
+  /// engine.residues, timing.stage, parallel.job).  Empty unless tracing
+  /// is compiled in AND runtime-enabled; filled by the layers that own a
+  /// measurement window (timing::Design::analyze, the bench harness).
+  /// Span counts are deterministic across thread counts; the seconds
+  /// fields are wall-clock measurements.
+  obs::PhaseBreakdown phases;
 
   Stats& operator+=(const Stats& other);
   Stats& operator-=(const Stats& other);

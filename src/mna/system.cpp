@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/fault.h"
+#include "obs/trace.h"
 
 namespace awesim::mna {
 
@@ -298,6 +299,7 @@ std::vector<std::string> MnaSystem::floating_node_names() const {
 }
 
 Solver MnaSystem::factor(double shift) const {
+  AWESIM_TRACE_SPAN("mna.factor");
   // Assemble (G + shift*C) triplets, optionally with the gmin retry.
   auto assemble = [&](double gmin) {
     std::vector<la::Triplet> t = g_triplets_;

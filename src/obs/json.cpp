@@ -1,0 +1,387 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace awesim::obs::json {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Value::Type got) {
+  throw std::runtime_error(std::string("json: expected ") + want +
+                           ", value holds type #" +
+                           std::to_string(static_cast<int>(got)));
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double n) {
+  if (!std::isfinite(n)) {
+    out += "null";  // JSON has no NaN/Inf; see the header contract
+    return;
+  }
+  char buf[40];
+  // Integers up to 2^53 print without an exponent or decimal point.
+  if (n == static_cast<double>(static_cast<long long>(n)) &&
+      std::abs(n) < 9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(n));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", n);
+  }
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value obj = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value arr = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("bad \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char e = peek();
+      ++pos_;
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // Surrogate pair: a low surrogate must follow.
+            if (!consume_literal("\\u")) fail("lone high surrogate");
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double n = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number");
+    return Value(n);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::Bool) type_error("bool", type_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::Number) type_error("number", type_);
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::String) type_error("string", type_);
+  return string_;
+}
+
+void Value::push_back(Value v) {
+  if (type_ != Type::Array) type_error("array", type_);
+  array_.push_back(std::move(v));
+}
+
+std::size_t Value::size() const {
+  if (type_ == Type::Array) return array_.size();
+  if (type_ == Type::Object) return object_.size();
+  type_error("array or object", type_);
+}
+
+const Value& Value::at(std::size_t index) const {
+  if (type_ != Type::Array) type_error("array", type_);
+  if (index >= array_.size()) {
+    throw std::runtime_error("json: array index out of range");
+  }
+  return array_[index];
+}
+
+void Value::set(std::string key, Value v) {
+  if (type_ != Type::Object) type_error("object", type_);
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::Object) type_error("object", type_);
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::items() const {
+  if (type_ != Type::Object) type_error("object", type_);
+  return object_;
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: append_number(out, number_); break;
+    case Type::String: append_escaped(out, string_); break;
+    case Type::Array: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::Object: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline(depth + 1);
+        append_escaped(out, object_[i].first);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Value parse(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+}  // namespace awesim::obs::json

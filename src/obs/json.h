@@ -1,0 +1,95 @@
+// Minimal JSON value type, writer, and parser for the machine-readable
+// observability outputs (BENCH_results.json, `critical_path_timing
+// --json`).  No external dependency: the repo bakes in everything it
+// needs, and the subset here -- null/bool/double/string/array/object with
+// insertion-ordered keys -- is exactly what a schema-versioned results
+// file requires.
+//
+// Writing: numbers print with %.17g (round-trippable doubles); NaN and
+// infinities are not representable in JSON and are emitted as `null`, so
+// "absent metric" and "non-finite metric" look identical to consumers --
+// which is the contract the bench schema wants (a finite number or null,
+// never "NaN").
+//
+// Parsing: strict recursive descent over UTF-8 text.  Throws
+// std::runtime_error with a byte offset on malformed input.  \uXXXX
+// escapes decode to UTF-8, surrogate pairs included.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace awesim::obs::json {
+
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Value() : type_(Type::Null) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(double n) : type_(Type::Number), number_(n) {}
+  Value(int n) : type_(Type::Number), number_(n) {}
+  Value(long long n)
+      : type_(Type::Number), number_(static_cast<double>(n)) {}
+  Value(unsigned long long n)
+      : type_(Type::Number), number_(static_cast<double>(n)) {}
+  Value(const char* s) : type_(Type::String), string_(s) {}
+  Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::Array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::Object;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  void push_back(Value v);
+  std::size_t size() const;
+  const Value& at(std::size_t index) const;
+
+  /// Object access (insertion-ordered; set replaces an existing key).
+  void set(std::string key, Value v);
+  const Value* find(std::string_view key) const;
+  const std::vector<std::pair<std::string, Value>>& items() const;
+
+  /// Serialize.  indent > 0 pretty-prints with that many spaces per
+  /// level; indent == 0 emits the compact single-line form.
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Parse a complete JSON document (trailing non-whitespace is an error).
+/// Throws std::runtime_error with a byte offset on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace awesim::obs::json

@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+namespace awesim::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+namespace {
+
+bool env_requests_tracing() {
+  const char* value = std::getenv("AWESIM_TRACE");
+  if (value == nullptr) return false;
+  const std::string v(value);
+  return v == "1" || v == "on" || v == "ON" || v == "true" || v == "TRUE";
+}
+
+// Arms the runtime gate from the environment before main() runs; the
+// atomic itself is constant-initialized, so the order against other
+// static initializers is immaterial.
+const bool g_env_init = [] {
+  if (env_requests_tracing()) {
+    detail::g_tracing_enabled.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}();
+
+struct Registry {
+  std::mutex mutex;
+  // std::map keeps snapshots name-sorted; unique_ptr keeps Phase
+  // addresses stable across rehash-free inserts.
+  std::map<std::string, std::unique_ptr<Phase>, std::less<>> phases;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: spans may outlive exit paths
+  return *r;
+}
+
+}  // namespace
+
+void set_tracing(bool enabled) {
+  (void)g_env_init;
+  detail::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Phase& phase(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.phases.find(name);
+  if (it == r.phases.end()) {
+    it = r.phases
+             .emplace(std::string(name),
+                      std::make_unique<Phase>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+PhaseBreakdown snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  PhaseBreakdown out;
+  out.reserve(r.phases.size());
+  for (const auto& [name, p] : r.phases) {
+    const PhaseStats stats = p->read();
+    if (stats.count > 0) out.push_back({name, stats});
+  }
+  return out;
+}
+
+void reset_phases() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [name, p] : r.phases) p->clear();
+}
+
+PhaseBreakdown since(const PhaseBreakdown& before) {
+  PhaseBreakdown now = snapshot();
+  subtract_into(now, before);
+  return now;
+}
+
+void merge_into(PhaseBreakdown& into, const PhaseBreakdown& from) {
+  for (const auto& entry : from) {
+    auto it = std::lower_bound(
+        into.begin(), into.end(), entry.name,
+        [](const NamedPhaseStats& a, const std::string& name) {
+          return a.name < name;
+        });
+    if (it != into.end() && it->name == entry.name) {
+      it->stats.merge(entry.stats);
+    } else {
+      into.insert(it, entry);
+    }
+  }
+}
+
+void subtract_into(PhaseBreakdown& into, const PhaseBreakdown& what) {
+  for (const auto& entry : what) {
+    auto it = std::lower_bound(
+        into.begin(), into.end(), entry.name,
+        [](const NamedPhaseStats& a, const std::string& name) {
+          return a.name < name;
+        });
+    if (it == into.end() || it->name != entry.name) continue;
+    it->stats.count = it->stats.count >= entry.stats.count
+                          ? it->stats.count - entry.stats.count
+                          : 0;
+    it->stats.total_seconds =
+        std::max(0.0, it->stats.total_seconds - entry.stats.total_seconds);
+    if (it->stats.count == 0) into.erase(it);
+  }
+}
+
+}  // namespace awesim::obs

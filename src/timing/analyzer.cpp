@@ -9,6 +9,7 @@
 
 #include "core/fault.h"
 #include "core/parallel.h"
+#include "obs/trace.h"
 
 namespace awesim::timing {
 
@@ -168,6 +169,7 @@ StageOutcome evaluate_stage(const Gate& driver, const Net& net,
                             const std::map<std::string, Gate>& gates,
                             const AnalysisOptions& options, double t_in,
                             double in_slew) {
+  AWESIM_TRACE_SPAN("timing.stage");
   StageOutcome outcome;
   StageTiming& st = outcome.timing;
   st.driver_gate = driver.name;
@@ -253,6 +255,11 @@ StageOutcome evaluate_stage(const Gate& driver, const Net& net,
 
 TimingReport Design::analyze(const AnalysisOptions& options) const {
   const auto t_start = std::chrono::steady_clock::now();
+  // Phase breakdown window: everything this analysis records, process-wide.
+  // Concurrent analyses would fold into each other's windows; the span
+  // *counts* stay a pure function of the work this call performed only
+  // when analyses do not overlap (the documented usage).
+  const obs::PhaseBreakdown phases_before = obs::snapshot();
 
   // Stage dependency bookkeeping: a net's sinks depend on its driver.
   std::map<std::string, std::vector<const NetInstance*>> driven_by;
@@ -357,6 +364,7 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
     // stays bit-identical across thread counts.
     std::vector<StageOutcome> outcomes(jobs.size());
     pool.parallel_for(jobs.size(), [&](std::size_t i) {
+      AWESIM_TRACE_SPAN("parallel.job");
       const StageJob& job = jobs[i];
       try {
         if (core::fault_at("parallel.job", job.net->net.name)) {
@@ -430,6 +438,7 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
     report.critical_delay = worst->second;
     trace_path(worst->first);
   }
+  report.awe_stats.phases = obs::since(phases_before);
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     t_start)

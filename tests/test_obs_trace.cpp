@@ -1,0 +1,244 @@
+// The scoped-span tracer: aggregation correctness, the runtime and
+// compile-time gates, and the determinism contract -- tracing must not
+// change a single bit of any engine or timing result.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "circuits/paper_circuits.h"
+#include "core/engine.h"
+#include "obs/trace.h"
+#include "timing/analyzer.h"
+
+using namespace awesim;
+
+namespace {
+
+// Every test runs with a clean registry and restores the tracing state
+// it found, so ctest ordering and --gtest_shuffle cannot couple tests.
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = obs::tracing_enabled();
+    obs::reset_phases();
+  }
+  void TearDown() override {
+    obs::set_tracing(was_enabled_);
+    obs::reset_phases();
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+const obs::PhaseStats* find_phase(const obs::PhaseBreakdown& breakdown,
+                                  const std::string& name) {
+  for (const auto& p : breakdown) {
+    if (p.name == name) return &p.stats;
+  }
+  return nullptr;
+}
+
+void spin_briefly() {
+  volatile double x = 1.0;
+  for (int i = 0; i < 2000; ++i) x = x * 1.0000001;
+}
+
+bool same_result(const core::Result& a, const core::Result& b) {
+  if (a.order_used != b.order_used || a.stable != b.stable ||
+      a.status != b.status ||
+      a.output_moments != b.output_moments) {
+    return false;
+  }
+  for (int k = 0; k <= 100; ++k) {
+    const double t = 5e-3 * k / 100.0;
+    if (a.approximation.value(t) != b.approximation.value(t)) return false;
+  }
+  return true;
+}
+
+timing::Design two_path_design() {
+  timing::Design d;
+  d.add_gate({"drv", 900.0, 4e-15, 10e-12});
+  d.add_gate({"mid", 1.1e3, 5e-15, 20e-12});
+  d.add_gate({"end", 1.3e3, 6e-15, 25e-12});
+  d.set_primary_input("drv");
+  timing::Net n1;
+  n1.name = "n1";
+  n1.parasitics = {{timing::NetElement::Kind::Resistor, "DRV", "a", 200.0},
+                   {timing::NetElement::Kind::Capacitor, "a", "0", 15e-15}};
+  n1.sink_node["mid"] = "a";
+  d.add_net("drv", n1);
+  timing::Net n2;
+  n2.name = "n2";
+  n2.parasitics = {{timing::NetElement::Kind::Resistor, "DRV", "b", 350.0},
+                   {timing::NetElement::Kind::Capacitor, "b", "0", 22e-15}};
+  n2.sink_node["end"] = "b";
+  d.add_net("mid", n2);
+  return d;
+}
+
+}  // namespace
+
+TEST_F(ObsTraceTest, SpansAggregateCountsAndTotals) {
+  if (!obs::tracing_compiled_in()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  obs::set_tracing(true);
+  for (int i = 0; i < 5; ++i) {
+    AWESIM_TRACE_SPAN("test.unit");
+    spin_briefly();
+  }
+  const auto breakdown = obs::snapshot();
+  const auto* stats = find_phase(breakdown, "test.unit");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count, 5u);
+  EXPECT_GT(stats->total_seconds, 0.0);
+  EXPECT_GE(stats->max_seconds, stats->min_seconds);
+  EXPECT_GE(stats->total_seconds,
+            stats->min_seconds * static_cast<double>(stats->count));
+  EXPECT_GE(stats->max_seconds * static_cast<double>(stats->count),
+            stats->total_seconds);
+}
+
+TEST_F(ObsTraceTest, NestedSpansRecordIntoBothPhases) {
+  if (!obs::tracing_compiled_in()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  obs::set_tracing(true);
+  {
+    AWESIM_TRACE_SPAN("test.outer");
+    for (int i = 0; i < 3; ++i) {
+      AWESIM_TRACE_SPAN("test.inner");
+      spin_briefly();
+    }
+  }
+  const auto breakdown = obs::snapshot();
+  const auto* outer = find_phase(breakdown, "test.outer");
+  const auto* inner = find_phase(breakdown, "test.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 3u);
+  // The outer span encloses all inner spans.
+  EXPECT_GE(outer->total_seconds, inner->total_seconds);
+}
+
+TEST_F(ObsTraceTest, RuntimeDisabledRecordsNothing) {
+  obs::set_tracing(false);
+  {
+    AWESIM_TRACE_SPAN("test.disabled");
+    spin_briefly();
+  }
+  const auto breakdown = obs::snapshot();
+  EXPECT_EQ(find_phase(breakdown, "test.disabled"), nullptr);
+}
+
+TEST_F(ObsTraceTest, CompiledOutMacroIsANoOp) {
+  if (obs::tracing_compiled_in()) {
+    GTEST_SKIP() << "tracing compiled in";
+  }
+  // Even with the runtime gate forced on, the macro must expand to
+  // nothing when compiled out.
+  obs::set_tracing(true);
+  {
+    AWESIM_TRACE_SPAN("test.compiled_out");
+    spin_briefly();
+  }
+  EXPECT_TRUE(obs::snapshot().empty());
+}
+
+TEST_F(ObsTraceTest, SinceSubtractsTheEarlierSnapshot) {
+  if (!obs::tracing_compiled_in()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  obs::set_tracing(true);
+  {
+    AWESIM_TRACE_SPAN("test.window");
+    spin_briefly();
+  }
+  const auto before = obs::snapshot();
+  for (int i = 0; i < 4; ++i) {
+    AWESIM_TRACE_SPAN("test.window");
+    spin_briefly();
+  }
+  const auto delta = obs::since(before);
+  const auto* stats = find_phase(delta, "test.window");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count, 4u);
+  // A phase untouched inside the window is absent from the delta.
+  EXPECT_EQ(delta.size(), 1u);
+}
+
+TEST_F(ObsTraceTest, ConcurrentSpansAggregateWithoutLoss) {
+  if (!obs::tracing_compiled_in()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  obs::set_tracing(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        AWESIM_TRACE_SPAN("test.concurrent");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto breakdown = obs::snapshot();
+  const auto* stats = find_phase(breakdown, "test.concurrent");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count,
+            static_cast<std::uint64_t>(kThreads) * kSpansPerThread);
+}
+
+TEST_F(ObsTraceTest, EngineResultBitIdenticalTracingOnVsOff) {
+  auto ckt = circuits::fig16_mos_interconnect({0.0, 5.0, 1e-9});
+  core::EngineOptions opt;
+  opt.order = 3;
+
+  obs::set_tracing(false);
+  core::Engine off_engine(ckt);
+  const auto off = off_engine.approximate(ckt.find_node("n7"), opt);
+
+  obs::set_tracing(true);
+  core::Engine on_engine(ckt);
+  const auto on = on_engine.approximate(ckt.find_node("n7"), opt);
+
+  EXPECT_TRUE(same_result(off, on));
+}
+
+TEST_F(ObsTraceTest, TimingReportBitIdenticalTracingOnVsOff) {
+  const auto design = two_path_design();
+  timing::AnalysisOptions opt;
+
+  obs::set_tracing(false);
+  const auto off = design.analyze(opt);
+
+  obs::set_tracing(true);
+  const auto on = design.analyze(opt);
+
+  EXPECT_EQ(off.critical_delay, on.critical_delay);
+  EXPECT_EQ(off.critical_path, on.critical_path);
+  EXPECT_EQ(off.gate_arrival, on.gate_arrival);
+  EXPECT_EQ(off.awe_stats.factorizations, on.awe_stats.factorizations);
+  EXPECT_EQ(off.awe_stats.substitutions, on.awe_stats.substitutions);
+  EXPECT_EQ(off.awe_stats.matches, on.awe_stats.matches);
+  ASSERT_EQ(off.stages.size(), on.stages.size());
+  for (std::size_t i = 0; i < off.stages.size(); ++i) {
+    ASSERT_EQ(off.stages[i].sinks.size(), on.stages[i].sinks.size());
+    for (std::size_t s = 0; s < off.stages[i].sinks.size(); ++s) {
+      EXPECT_EQ(off.stages[i].sinks[s].arrival,
+                on.stages[i].sinks[s].arrival);
+      EXPECT_EQ(off.stages[i].sinks[s].slew, on.stages[i].sinks[s].slew);
+    }
+  }
+  // The traced run carries the phase breakdown; the untraced run's is
+  // empty (when compiled in).
+  if (obs::tracing_compiled_in()) {
+    EXPECT_TRUE(off.awe_stats.phases.empty());
+    EXPECT_FALSE(on.awe_stats.phases.empty());
+  }
+}

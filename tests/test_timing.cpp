@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "obs/trace.h"
 #include "timing/analyzer.h"
 
 namespace awesim::timing {
@@ -202,6 +205,118 @@ TEST(Timing, CycleDetected) {
   d.add_net("b", ba);
   // Neither gate is a primary input with zero fan-in: cycle.
   EXPECT_THROW(d.analyze(), std::invalid_argument);
+}
+
+namespace {
+
+// A wide multi-wave design so every wavefront past the first holds
+// several independent stages -- the shape that exercises the pool.
+Design wide_multiwave_design(std::size_t chains) {
+  Design d;
+  d.add_gate({"root", 600.0, 4e-15, 0.0});
+  d.set_primary_input("root");
+  Net fan;
+  fan.name = "fanout";
+  fan.parasitics = {r("DRV", "h", 180.0), c("h", 25e-15)};
+  for (std::size_t ch = 0; ch < chains; ++ch) {
+    fan.sink_node["g" + std::to_string(ch) + "_0"] = "h";
+  }
+  for (std::size_t ch = 0; ch < chains; ++ch) {
+    for (int s = 0; s < 3; ++s) {
+      const std::string name =
+          "g" + std::to_string(ch) + "_" + std::to_string(s);
+      d.add_gate({name, 900.0 + 70.0 * static_cast<double>(ch), 5e-15,
+                  4e-12});
+      if (s > 0) {
+        Net net;
+        net.name = name + "_in";
+        net.parasitics = {
+            r("DRV", "w", 280.0 + 30.0 * static_cast<double>(s)),
+            c("w", 35e-15)};
+        net.sink_node[name] = "w";
+        d.add_net("g" + std::to_string(ch) + "_" + std::to_string(s - 1),
+                  net);
+      }
+    }
+  }
+  d.add_net("root", fan);
+  return d;
+}
+
+}  // namespace
+
+// Tracing + the parallel wavefront together: the mutexed span
+// accumulators must be race-free under TSan, and the report plus the
+// span *counts* must be bit-identical across 1/2/8 threads (the seconds
+// fields are wall-clock and are exempt by contract).
+TEST(Timing, TracedParallelAnalysisIsRaceFreeAndDeterministic) {
+  const bool was_enabled = obs::tracing_enabled();
+  obs::set_tracing(true);
+  const Design d = wide_multiwave_design(8);
+
+  std::vector<TimingReport> reports;
+  for (int threads : {1, 2, 8}) {
+    AnalysisOptions opt;
+    opt.threads = threads;
+    obs::reset_phases();
+    reports.push_back(d.analyze(opt));
+  }
+  obs::set_tracing(was_enabled);
+  obs::reset_phases();
+
+  const TimingReport& ref = reports.front();
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    const TimingReport& rep = reports[i];
+    EXPECT_EQ(ref.critical_delay, rep.critical_delay);
+    EXPECT_EQ(ref.critical_path, rep.critical_path);
+    EXPECT_EQ(ref.gate_arrival, rep.gate_arrival);
+    EXPECT_EQ(ref.levels, rep.levels);
+    EXPECT_EQ(ref.awe_stats.factorizations, rep.awe_stats.factorizations);
+    EXPECT_EQ(ref.awe_stats.substitutions, rep.awe_stats.substitutions);
+    EXPECT_EQ(ref.awe_stats.matches, rep.awe_stats.matches);
+    EXPECT_EQ(ref.awe_stats.stages, rep.awe_stats.stages);
+    ASSERT_EQ(ref.stages.size(), rep.stages.size());
+    for (std::size_t s = 0; s < ref.stages.size(); ++s) {
+      EXPECT_EQ(ref.stages[s].driver_gate, rep.stages[s].driver_gate);
+      EXPECT_EQ(ref.stages[s].net, rep.stages[s].net);
+      ASSERT_EQ(ref.stages[s].sinks.size(), rep.stages[s].sinks.size());
+      for (std::size_t k = 0; k < ref.stages[s].sinks.size(); ++k) {
+        EXPECT_EQ(ref.stages[s].sinks[k].arrival,
+                  rep.stages[s].sinks[k].arrival);
+        EXPECT_EQ(ref.stages[s].sinks[k].slew,
+                  rep.stages[s].sinks[k].slew);
+      }
+    }
+    // Phase breakdown: identical names and span counts per thread count.
+    if (obs::tracing_compiled_in()) {
+      ASSERT_EQ(ref.awe_stats.phases.size(), rep.awe_stats.phases.size());
+      for (std::size_t p = 0; p < ref.awe_stats.phases.size(); ++p) {
+        EXPECT_EQ(ref.awe_stats.phases[p].name,
+                  rep.awe_stats.phases[p].name);
+        EXPECT_EQ(ref.awe_stats.phases[p].stats.count,
+                  rep.awe_stats.phases[p].stats.count);
+      }
+    }
+  }
+  if (obs::tracing_compiled_in()) {
+    // The taxonomy's timing-layer phases must be present and counted
+    // exactly: one timing.stage and one parallel.job per evaluated
+    // stage.
+    bool saw_stage = false;
+    bool saw_job = false;
+    for (const auto& p : ref.awe_stats.phases) {
+      if (p.name == "timing.stage") {
+        saw_stage = true;
+        EXPECT_EQ(p.stats.count, ref.awe_stats.stages);
+      }
+      if (p.name == "parallel.job") {
+        saw_job = true;
+        EXPECT_EQ(p.stats.count, ref.awe_stats.stages);
+      }
+    }
+    EXPECT_TRUE(saw_stage);
+    EXPECT_TRUE(saw_job);
+  }
 }
 
 }  // namespace awesim::timing
