@@ -15,12 +15,17 @@ void register_figure_cases();
 /// RC lines, the 32-sink batch net, the parallel timing wavefront.
 void register_scaling_cases();
 
+/// The incremental what-if sweeps: timing::Session warm re-analysis
+/// against cold per-point Design::analyze.
+void register_sweep_cases();
+
 /// Idempotent: registers every case exactly once.
 inline void ensure_all_registered() {
   static std::once_flag once;
   std::call_once(once, [] {
     register_figure_cases();
     register_scaling_cases();
+    register_sweep_cases();
   });
 }
 

@@ -54,7 +54,12 @@ struct Row {
 }  // namespace
 
 int main() {
-  auto ckt = netlist::parse(kNet);
+  netlist::ParseResult parsed = netlist::parse_collect(kNet);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", core::to_string(parsed.diagnostics).c_str());
+    return 1;
+  }
+  auto ckt = std::move(*parsed.circuit);
   core::Engine engine(ckt);
   sim::TransientSimulator sim(ckt);
 

@@ -19,6 +19,7 @@ const char* to_string(DiagCode code) {
     case DiagCode::ValidationError: return "validation-error";
     case DiagCode::StageDegraded: return "stage-degraded";
     case DiagCode::StageFailed: return "stage-failed";
+    case DiagCode::CacheInvalidated: return "cache-invalidated";
     case DiagCode::InjectedFault: return "injected-fault";
   }
   return "unknown";

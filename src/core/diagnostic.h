@@ -42,6 +42,7 @@ enum class DiagCode {
   // Timing analysis.
   StageDegraded,    // a stage answered with a degraded (flagged) estimate
   StageFailed,      // a stage could not be approximated; bound substituted
+  CacheInvalidated, // a session cache entry failed verification; recomputed
   // Test harness.
   InjectedFault,    // a FaultInjector rule fired here
 };

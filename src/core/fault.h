@@ -18,6 +18,10 @@
 //   pade.hankel      key = order q              reject the Hankel solve
 //   timing.stage     key = net name             throw inside stage evaluation
 //   parallel.job     key = net name             throw inside the pool job
+//   session.cache    key = net name             treat the stage-cache entry
+//                                               as corrupt (checksum fails;
+//                                               the entry is dropped and the
+//                                               stage recomputed)
 //
 // Injection is config/env-driven: tests arm rules programmatically
 // (ScopedFaultInjection), operators can set AWESIM_FAULTS, e.g.

@@ -10,6 +10,10 @@ Stats& Stats::operator+=(const Stats& other) {
   matches += other.matches;
   outputs += other.outputs;
   stages += other.stages;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  stages_reused += other.stages_reused;
+  stages_recomputed += other.stages_recomputed;
   window_shifts += other.window_shifts;
   order_stepdowns += other.order_stepdowns;
   elmore_fallbacks += other.elmore_fallbacks;
@@ -28,6 +32,10 @@ Stats& Stats::operator-=(const Stats& other) {
   matches -= other.matches;
   outputs -= other.outputs;
   stages -= other.stages;
+  cache_hits -= other.cache_hits;
+  cache_misses -= other.cache_misses;
+  stages_reused -= other.stages_reused;
+  stages_recomputed -= other.stages_recomputed;
   window_shifts -= other.window_shifts;
   order_stepdowns -= other.order_stepdowns;
   elmore_fallbacks -= other.elmore_fallbacks;
@@ -44,7 +52,7 @@ Stats operator+(Stats a, const Stats& b) { return a += b; }
 Stats operator-(Stats a, const Stats& b) { return a -= b; }
 
 std::string Stats::summary() const {
-  char buf[384];
+  char buf[512];
   int n = std::snprintf(
       buf, sizeof buf,
       "%llu LU, %llu subst, %llu matches, %llu outputs, "
@@ -58,14 +66,24 @@ std::string Stats::summary() const {
       seconds_moments * 1e3, seconds_match * 1e3);
   if (degradations + failures > 0 && n > 0 &&
       static_cast<std::size_t>(n) < sizeof buf) {
+    n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                       " | %llu degraded (%llu shift, %llu stepdown, "
+                       "%llu elmore), %llu failed",
+                       static_cast<unsigned long long>(degradations),
+                       static_cast<unsigned long long>(window_shifts),
+                       static_cast<unsigned long long>(order_stepdowns),
+                       static_cast<unsigned long long>(elmore_fallbacks),
+                       static_cast<unsigned long long>(failures));
+  }
+  if (cache_hits + cache_misses > 0 && n > 0 &&
+      static_cast<std::size_t>(n) < sizeof buf) {
     std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
-                  " | %llu degraded (%llu shift, %llu stepdown, "
-                  "%llu elmore), %llu failed",
-                  static_cast<unsigned long long>(degradations),
-                  static_cast<unsigned long long>(window_shifts),
-                  static_cast<unsigned long long>(order_stepdowns),
-                  static_cast<unsigned long long>(elmore_fallbacks),
-                  static_cast<unsigned long long>(failures));
+                  " | cache %llu hit, %llu miss "
+                  "(%llu stages reused, %llu recomputed)",
+                  static_cast<unsigned long long>(cache_hits),
+                  static_cast<unsigned long long>(cache_misses),
+                  static_cast<unsigned long long>(stages_reused),
+                  static_cast<unsigned long long>(stages_recomputed));
   }
   return buf;
 }

@@ -36,6 +36,19 @@ struct Stats {
   /// Timing stages evaluated (filled by timing::Design::analyze).
   std::uint64_t stages = 0;
 
+  /// Incremental-session cache counters (see timing::Session and
+  /// DESIGN.md "Incremental re-analysis").  `cache_hits`/`cache_misses`
+  /// count individual cache lookups (stage results AND shared LU
+  /// factorizations); `stages_reused`/`stages_recomputed` count whole
+  /// stages served from the cache vs evaluated fresh.  All four stay 0
+  /// for a plain Design::analyze (no cache attached) and are pure
+  /// functions of the cache state, hence bit-identical across thread
+  /// counts (lookups run in the serial pre-pass of each wavefront).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t stages_reused = 0;
+  std::uint64_t stages_recomputed = 0;
+
   /// Degradation-ladder counters (see EngineOptions::degrade and
   /// DESIGN.md "Failure taxonomy").  Rung counters are per atom-match;
   /// degradations/failures are per output (worst rung of the Result).

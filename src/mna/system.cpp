@@ -389,10 +389,25 @@ Solver MnaSystem::factor(double shift) const {
 
 la::RealVector MnaSystem::solve(const la::RealVector& rhs) const {
   if (!g_solver_) {
-    g_solver_ = std::make_unique<Solver>(factor(0.0));
+    g_solver_ = std::make_shared<const Solver>(factor(0.0));
   }
   ++solve_stats_.substitutions;
   return g_solver_->solve(rhs);
+}
+
+std::shared_ptr<const Solver> MnaSystem::shared_g_solver() const {
+  if (!g_solver_) {
+    g_solver_ = std::make_shared<const Solver>(factor(0.0));
+  }
+  return g_solver_;
+}
+
+void MnaSystem::adopt_g_solver(
+    std::shared_ptr<const Solver> solver, bool used_gmin,
+    const core::Diagnostics& factor_diagnostics) const {
+  g_solver_ = std::move(solver);
+  used_gmin_ = used_gmin;
+  for (const auto& d : factor_diagnostics) diagnostics_.push_back(d);
 }
 
 std::vector<la::RealVector> MnaSystem::solve_multi(
@@ -413,7 +428,7 @@ const Solver& MnaSystem::shifted(double a) const {
 
 bool MnaSystem::used_gmin() const {
   if (!g_solver_) {
-    g_solver_ = std::make_unique<Solver>(factor(0.0));
+    g_solver_ = std::make_shared<const Solver>(factor(0.0));
   }
   return used_gmin_;
 }

@@ -515,8 +515,11 @@ ParseResult parse_collect(std::string_view text,
   return result;
 }
 
-circuit::Circuit parse(std::string_view text) {
-  ParseResult result = parse_collect(text);
+namespace {
+
+// Shared body of the two deprecated throwing shims, so neither needs to
+// call the other's deprecated name (keeps this TU warning-clean).
+circuit::Circuit first_error_or_circuit(ParseResult result) {
   if (!result.circuit) {
     for (const auto& d : result.diagnostics) {
       if (d.severity < core::Severity::Error) continue;
@@ -532,6 +535,12 @@ circuit::Circuit parse(std::string_view text) {
   return std::move(*result.circuit);
 }
 
+}  // namespace
+
+circuit::Circuit parse(std::string_view text) {
+  return first_error_or_circuit(parse_collect(text));
+}
+
 circuit::Circuit parse_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -539,7 +548,7 @@ circuit::Circuit parse_file(const std::string& path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse(buf.str());
+  return first_error_or_circuit(parse_collect(buf.str()));
 }
 
 ParseResult parse_file_collect(const std::string& path) {

@@ -27,6 +27,10 @@
 //   engine.residues  eq. 20/29 (confluent) Vandermonde residue solve
 //   timing.stage     one stage evaluation in the timing analyzer
 //   parallel.job     one thread-pool job (wraps timing.stage)
+//   session.reuse    one stage served from the Session stage cache
+//                    (verified hit in the serial pre-pass)
+//   session.invalidate  one cache entry dropped (failed verification
+//                    or evicted); the stage is recomputed
 //
 // Cost model, so instrumentation can stay in hot paths:
 //   * compiled out (-DAWESIM_TRACING=OFF): the macro expands to nothing;

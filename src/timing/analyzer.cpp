@@ -10,6 +10,7 @@
 #include "core/fault.h"
 #include "core/parallel.h"
 #include "obs/trace.h"
+#include "timing/stage_cache.h"
 
 namespace awesim::timing {
 
@@ -94,10 +95,16 @@ StageCircuit build_stage(const Gate& driver, const Net& net,
 
 // One stage evaluated in isolation: everything here is thread-local
 // (the stage circuit, MNA system, and engine are built fresh), so
-// stages of one wavefront can run concurrently.
+// stages of one wavefront can run concurrently.  When a Session cache
+// is attached, the outcome also carries the circuit's G factorization
+// handle so the serial post-pass can publish it for content-identical
+// re-analyses.
 struct StageOutcome {
   StageTiming timing;
   core::Stats stats;
+  std::shared_ptr<const mna::Solver> solver;  // set when capturing
+  bool used_gmin = false;
+  core::Diagnostics factor_diags;
 };
 
 // Last-resort stage estimate when the AWE evaluation itself is dead
@@ -108,8 +115,9 @@ struct StageOutcome {
 // arrivals and the report carries a StageFailed diagnostic.
 StageOutcome elmore_bound_stage(const Gate& driver, const Net& net,
                                 const std::map<std::string, Gate>& gates,
-                                const AnalysisOptions& options, double t_in,
-                                double in_slew, const std::string& reason) {
+                                const AnalysisOptions& /*options*/,
+                                double t_in, double in_slew,
+                                const std::string& reason) {
   StageOutcome outcome;
   StageTiming& st = outcome.timing;
   st.driver_gate = driver.name;
@@ -168,7 +176,9 @@ StageOutcome elmore_bound_stage(const Gate& driver, const Net& net,
 StageOutcome evaluate_stage(const Gate& driver, const Net& net,
                             const std::map<std::string, Gate>& gates,
                             const AnalysisOptions& options, double t_in,
-                            double in_slew) {
+                            double in_slew,
+                            const detail::CachedFactorization* adopt,
+                            bool capture_factorization) {
   AWESIM_TRACE_SPAN("timing.stage");
   StageOutcome outcome;
   StageTiming& st = outcome.timing;
@@ -185,6 +195,14 @@ StageOutcome evaluate_stage(const Gate& driver, const Net& net,
   StageCircuit sc = build_stage(driver, net, gates, options.swing,
                                 in_slew);
   core::Engine engine(sc.ckt);
+  if (adopt != nullptr) {
+    // A content-identical circuit already factored G in this session:
+    // share the LU and replay its factor-time observables (gmin flag,
+    // diagnostics) so every Result is bitwise what a fresh factorization
+    // would have produced; only the LU work is skipped.
+    engine.system().adopt_g_solver(adopt->solver, adopt->used_gmin,
+                                   adopt->diagnostics);
+  }
   core::EngineOptions eopt;
   eopt.order = options.order;
   eopt.auto_order = true;
@@ -248,12 +266,27 @@ StageOutcome evaluate_stage(const Gate& driver, const Net& net,
   }
   outcome.stats = batch.stats;
   outcome.stats.stages = 1;
+  if (capture_factorization && adopt == nullptr) {
+    // Publish this circuit's G factorization (and its factor-time
+    // observables) for the post-pass to cache under the content key.
+    outcome.solver = engine.system().shared_g_solver();
+    outcome.used_gmin = engine.system().used_gmin();
+    outcome.factor_diags = engine.system().diagnostics();
+  }
   return outcome;
 }
 
 }  // namespace
 
 TimingReport Design::analyze(const AnalysisOptions& options) const {
+  return detail::analyze_design(*this, options, nullptr);
+}
+
+namespace detail {
+
+TimingReport analyze_design(const Design& design,
+                            const AnalysisOptions& options,
+                            StageCache* cache) {
   const auto t_start = std::chrono::steady_clock::now();
   // Phase breakdown window: everything this analysis records, process-wide.
   // Concurrent analyses would fold into each other's windows; the span
@@ -261,14 +294,17 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
   // when analyses do not overlap (the documented usage).
   const obs::PhaseBreakdown phases_before = obs::snapshot();
 
+  const auto& gates = design.gates_;
+  const auto& nets = design.nets_;
+
   // Stage dependency bookkeeping: a net's sinks depend on its driver.
-  std::map<std::string, std::vector<const NetInstance*>> driven_by;
+  std::map<std::string, std::vector<const Design::NetInstance*>> driven_by;
   std::map<std::string, int> fanin_count;
-  for (const auto& [name, gate] : gates_) fanin_count[name] = 0;
-  for (const auto& ni : nets_) {
+  for (const auto& [name, gate] : gates) fanin_count[name] = 0;
+  for (const auto& ni : nets) {
     driven_by[ni.driver].push_back(&ni);
     for (const auto& [sink, node] : ni.net.sink_node) {
-      if (gates_.count(sink) > 0) ++fanin_count[sink];
+      if (gates.count(sink) > 0) ++fanin_count[sink];
     }
   }
 
@@ -283,7 +319,7 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
   // driver, so when a wave is evaluated all of its drivers' arrivals and
   // slews are final.  Waves are name-sorted for deterministic reduction.
   std::map<std::string, int> remaining = fanin_count;
-  for (const auto& pi : primary_inputs_) remaining[pi] = 0;
+  for (const auto& pi : design.primary_inputs_) remaining[pi] = 0;
   std::vector<std::vector<std::string>> waves;
   std::size_t leveled = 0;
   {
@@ -297,9 +333,9 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
       for (const auto& gate_name : frontier) {
         const auto it = driven_by.find(gate_name);
         if (it == driven_by.end()) continue;
-        for (const NetInstance* ni : it->second) {
+        for (const Design::NetInstance* ni : it->second) {
           for (const auto& [sink, node] : ni->net.sink_node) {
-            if (gates_.count(sink) > 0 && --remaining[sink] == 0) {
+            if (gates.count(sink) > 0 && --remaining[sink] == 0) {
               next.insert(sink);
             }
           }
@@ -309,7 +345,7 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
       frontier.assign(next.begin(), next.end());
     }
   }
-  if (leveled < gates_.size()) {
+  if (leveled < gates.size()) {
     // Some gate never became ready: combinational cycle (or a sink whose
     // fan-in never resolves).
     throw std::invalid_argument(
@@ -328,7 +364,7 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
   report.levels = waves.size();
 
   struct StageJob {
-    const NetInstance* net = nullptr;
+    const Design::NetInstance* net = nullptr;
     const Gate* driver = nullptr;
     double t_in = 0.0;
     double in_slew = 0.0;
@@ -349,21 +385,68 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
     for (const auto& gate_name : wave) {
       const auto it = driven_by.find(gate_name);
       if (it == driven_by.end()) continue;  // endpoint gate
-      for (const NetInstance* ni : it->second) {
-        jobs.push_back({ni, &gates_.at(gate_name), arrival.at(gate_name),
+      for (const Design::NetInstance* ni : it->second) {
+        jobs.push_back({ni, &gates.at(gate_name), arrival.at(gate_name),
                         slew.at(gate_name)});
       }
     }
     if (jobs.empty()) continue;
 
-    // Evaluate concurrently into per-stage slots.  Each job is its own
-    // fault domain: anything thrown (singular MNA, injected fault) is
-    // caught here, the stage degrades to the analytic Elmore bound, and
-    // the rest of the wavefront proceeds untouched.  The injection and
-    // the fallback are pure functions of the stage itself, so the report
-    // stays bit-identical across thread counts.
     std::vector<StageOutcome> outcomes(jobs.size());
+    std::vector<char> served(jobs.size(), 0);
+    std::vector<std::string> result_keys;
+    std::vector<std::string> content_keys;
+    std::vector<std::shared_ptr<const CachedFactorization>> adopt;
+    std::vector<core::Diagnostics> invalidation_diags;
+
+    if (cache != nullptr) {
+      // Serial cache pre-pass, in job order: every lookup (stage result
+      // keys, then LU content keys for the misses) happens here, before
+      // any parallel work, so hit/miss counters, invalidations, and the
+      // served set are pure functions of the job sequence -- identical
+      // for every thread count.
+      result_keys.resize(jobs.size());
+      content_keys.resize(jobs.size());
+      adopt.resize(jobs.size());
+      invalidation_diags.resize(jobs.size());
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const StageJob& job = jobs[i];
+        result_keys[i] = stage_result_key(*job.driver, job.net->net,
+                                          gates, options, job.in_slew);
+        auto hit = cache->lookup_stage(result_keys[i], job.net->net.name,
+                                       &invalidation_diags[i]);
+        if (hit) {
+          // Rehydrate the stage-relative record against this job's
+          // input arrival.  Cold evaluation computes arrival as
+          // t_in + stage_delay with the same two operands, so the
+          // replayed values are bitwise identical.
+          StageOutcome o;
+          o.timing = std::move(*hit);
+          o.timing.input_arrival = job.t_in;
+          for (auto& s : o.timing.sinks) {
+            s.arrival = job.t_in + s.stage_delay;
+          }
+          o.stats.stages = 1;
+          o.stats.stages_reused = 1;
+          o.stats.cache_hits = 1;
+          outcomes[i] = std::move(o);
+          served[i] = 1;
+        } else {
+          content_keys[i] = stage_content_key(*job.driver, job.net->net,
+                                              gates);
+          adopt[i] = cache->lookup_factorization(content_keys[i]);
+        }
+      }
+    }
+
+    // Evaluate the misses concurrently into per-stage slots.  Each job
+    // is its own fault domain: anything thrown (singular MNA, injected
+    // fault) is caught here, the stage degrades to the analytic Elmore
+    // bound, and the rest of the wavefront proceeds untouched.  The
+    // injection and the fallback are pure functions of the stage itself,
+    // so the report stays bit-identical across thread counts.
     pool.parallel_for(jobs.size(), [&](std::size_t i) {
+      if (served[i]) return;
       AWESIM_TRACE_SPAN("parallel.job");
       const StageJob& job = jobs[i];
       try {
@@ -372,18 +455,55 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
               {core::DiagCode::InjectedFault, core::Severity::Error,
                "injected thread-pool job fault", job.net->net.name});
         }
-        outcomes[i] = evaluate_stage(*job.driver, job.net->net, gates_,
-                                     options, job.t_in, job.in_slew);
+        outcomes[i] = evaluate_stage(
+            *job.driver, job.net->net, gates, options, job.t_in,
+            job.in_slew, cache != nullptr ? adopt[i].get() : nullptr,
+            cache != nullptr);
       } catch (const std::exception& e) {
         outcomes[i] =
-            elmore_bound_stage(*job.driver, job.net->net, gates_, options,
+            elmore_bound_stage(*job.driver, job.net->net, gates, options,
                                job.t_in, job.in_slew, e.what());
       }
     });
 
     // ... then reduce serially in job order, so arrivals, predecessor
-    // choices, and stats sums are identical for every thread count.
-    for (auto& outcome : outcomes) {
+    // choices, stats sums, and cache insertions are identical for every
+    // thread count.
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      StageOutcome& outcome = outcomes[i];
+      if (cache != nullptr && !served[i]) {
+        outcome.stats.stages_recomputed += 1;
+        outcome.stats.cache_misses += 1;  // the stage-result lookup
+        if (adopt[i]) {
+          outcome.stats.cache_hits += 1;  // the LU content-key lookup
+        } else {
+          outcome.stats.cache_misses += 1;
+        }
+        if (!outcome.timing.failed) {
+          // Store the pure evaluation result in stage-relative form
+          // (before any invalidation diagnostics of *this* run are
+          // attached -- those describe a cache event, not the stage).
+          // Failed stages are never cached: the Elmore bound is a
+          // per-run fallback, recomputed deterministically.
+          StageTiming relative = outcome.timing;
+          relative.input_arrival = 0.0;
+          for (auto& s : relative.sinks) s.arrival = s.stage_delay;
+          cache->insert_stage(result_keys[i], std::move(relative));
+          if (!adopt[i] && outcome.solver) {
+            cache->insert_factorization(
+                content_keys[i],
+                {outcome.solver, outcome.used_gmin,
+                 outcome.factor_diags});
+          }
+        }
+        if (!invalidation_diags[i].empty()) {
+          outcome.timing.diagnostics.insert(
+              outcome.timing.diagnostics.begin(),
+              invalidation_diags[i].begin(), invalidation_diags[i].end());
+        }
+      }
+      outcome.solver.reset();
+
       report.awe_stats += outcome.stats;
       StageTiming& st = outcome.timing;
       if (st.failed) {
@@ -395,7 +515,7 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
         report.diagnostics.push_back(d);
       }
       for (const auto& sink_t : st.sinks) {
-        if (gates_.count(sink_t.gate) > 0) {
+        if (gates.count(sink_t.gate) > 0) {
           const bool improves = arrival.count(sink_t.gate) == 0 ||
                                 sink_t.arrival > arrival[sink_t.gate];
           if (improves) {
@@ -445,5 +565,7 @@ TimingReport Design::analyze(const AnalysisOptions& options) const {
           .count();
   return report;
 }
+
+}  // namespace detail
 
 }  // namespace awesim::timing

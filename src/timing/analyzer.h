@@ -145,6 +145,25 @@ struct TimingReport {
   double wall_seconds = 0.0;
 };
 
+class Design;
+class Session;
+
+namespace detail {
+class StageCache;
+
+/// The one analysis walk, shared by Design::analyze (cache == nullptr:
+/// every stage evaluates fresh) and timing::Session (persistent
+/// StageCache: stages whose result key hits are served from cache, in a
+/// serial pre-pass; only misses run on the pool).  The report is
+/// bit-identical between the two paths -- for the timing values, arrival
+/// maps, critical path, degraded/failed flags, and diagnostics; the
+/// awe_stats cost counters, phase breakdown, and wall_seconds reflect
+/// the work actually performed and naturally differ on warm runs.
+TimingReport analyze_design(const Design& design,
+                            const AnalysisOptions& options,
+                            StageCache* cache);
+}  // namespace detail
+
 /// A gate-level design: gates plus nets connecting them.
 class Design {
  public:
@@ -167,6 +186,14 @@ class Design {
     std::string driver;
     Net net;
   };
+
+  // Session mutates element values / topology in place (content-addressed
+  // cache keys make explicit invalidation unnecessary); analyze_design is
+  // the shared walk behind analyze().
+  friend class Session;
+  friend TimingReport detail::analyze_design(const Design&,
+                                             const AnalysisOptions&,
+                                             detail::StageCache*);
 
   std::map<std::string, Gate> gates_;
   std::vector<NetInstance> nets_;

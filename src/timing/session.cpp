@@ -1,0 +1,170 @@
+#include "timing/session.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "timing/stage_cache.h"
+
+namespace awesim::timing {
+
+Session::Session(Design design, AnalysisOptions options)
+    : design_(std::move(design)),
+      options_(options),
+      cache_(std::make_unique<detail::StageCache>()) {}
+
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+
+TimingReport Session::analyze() {
+  return detail::analyze_design(design_, options_, cache_.get());
+}
+
+TimingReport Session::analyze(const AnalysisOptions& options) {
+  options_ = options;
+  return analyze();
+}
+
+Net& Session::net_ref(const std::string& net) {
+  Net* found = nullptr;
+  for (auto& ni : design_.nets_) {
+    if (ni.net.name == net) {
+      if (found != nullptr) {
+        throw std::invalid_argument("Session: net name '" + net +
+                                    "' is ambiguous");
+      }
+      found = &ni.net;
+    }
+  }
+  if (found == nullptr) {
+    throw std::invalid_argument("Session: unknown net '" + net + "'");
+  }
+  return *found;
+}
+
+Gate& Session::gate_ref(const std::string& gate) {
+  const auto it = design_.gates_.find(gate);
+  if (it == design_.gates_.end()) {
+    throw std::invalid_argument("Session: unknown gate '" + gate + "'");
+  }
+  return it->second;
+}
+
+void Session::set_value(const std::string& net, std::size_t element_index,
+                        double value) {
+  Net& n = net_ref(net);
+  if (element_index >= n.parasitics.size()) {
+    throw std::invalid_argument(
+        "Session: element index " + std::to_string(element_index) +
+        " out of range for net '" + net + "'");
+  }
+  n.parasitics[element_index].value = value;
+}
+
+void Session::add_element(const std::string& net, NetElement element) {
+  net_ref(net).parasitics.push_back(std::move(element));
+}
+
+void Session::remove_element(const std::string& net,
+                             std::size_t element_index) {
+  Net& n = net_ref(net);
+  if (element_index >= n.parasitics.size()) {
+    throw std::invalid_argument(
+        "Session: element index " + std::to_string(element_index) +
+        " out of range for net '" + net + "'");
+  }
+  n.parasitics.erase(n.parasitics.begin() +
+                     static_cast<std::ptrdiff_t>(element_index));
+}
+
+void Session::set_drive_resistance(const std::string& gate, double value) {
+  gate_ref(gate).drive_resistance = value;
+}
+
+void Session::set_input_capacitance(const std::string& gate, double value) {
+  gate_ref(gate).input_capacitance = value;
+}
+
+void Session::set_intrinsic_delay(const std::string& gate, double value) {
+  gate_ref(gate).intrinsic_delay = value;
+}
+
+double Session::current_value(const SweepParam& param) {
+  switch (param.kind) {
+    case SweepParam::Kind::NetElementValue: {
+      Net& n = net_ref(param.name);
+      if (param.element_index >= n.parasitics.size()) {
+        throw std::invalid_argument(
+            "Session: element index " + std::to_string(param.element_index) +
+            " out of range for net '" + param.name + "'");
+      }
+      return n.parasitics[param.element_index].value;
+    }
+    case SweepParam::Kind::DriveResistance:
+      return gate_ref(param.name).drive_resistance;
+    case SweepParam::Kind::InputCapacitance:
+      return gate_ref(param.name).input_capacitance;
+    case SweepParam::Kind::IntrinsicDelay:
+      return gate_ref(param.name).intrinsic_delay;
+  }
+  throw std::invalid_argument("Session: unknown sweep parameter kind");
+}
+
+void Session::apply_value(const SweepParam& param, double value) {
+  switch (param.kind) {
+    case SweepParam::Kind::NetElementValue:
+      set_value(param.name, param.element_index, value);
+      return;
+    case SweepParam::Kind::DriveResistance:
+      set_drive_resistance(param.name, value);
+      return;
+    case SweepParam::Kind::InputCapacitance:
+      set_input_capacitance(param.name, value);
+      return;
+    case SweepParam::Kind::IntrinsicDelay:
+      set_intrinsic_delay(param.name, value);
+      return;
+  }
+  throw std::invalid_argument("Session: unknown sweep parameter kind");
+}
+
+SweepResult Session::sweep(const SweepParam& param,
+                           const std::vector<double>& values) {
+  // Reads (and validates) the parameter up front so the sweep can put
+  // the design back exactly as it found it, even on a throwing point.
+  const double original = current_value(param);
+  SweepResult result;
+  result.points.reserve(values.size());
+  try {
+    for (const double v : values) {
+      apply_value(param, v);
+      SweepPoint point;
+      point.value = v;
+      point.report = analyze();
+      result.stages_reused += point.report.awe_stats.stages_reused;
+      result.stages_recomputed += point.report.awe_stats.stages_recomputed;
+      result.points.push_back(std::move(point));
+    }
+  } catch (...) {
+    apply_value(param, original);
+    throw;
+  }
+  apply_value(param, original);
+  return result;
+}
+
+Session::CacheStats Session::cache_stats() const {
+  const detail::StageCache::Counters c = cache_->counters();
+  CacheStats stats;
+  stats.stage_entries = cache_->stage_entries();
+  stats.factorization_entries = cache_->factorization_entries();
+  stats.hits = c.hits;
+  stats.misses = c.misses;
+  stats.invalidations = c.invalidations;
+  stats.evictions = c.evictions;
+  return stats;
+}
+
+void Session::clear_cache() { cache_->clear(); }
+
+}  // namespace awesim::timing

@@ -1,0 +1,137 @@
+// Incremental what-if re-analysis: a persistent timing session.
+//
+// A Session owns a Design plus a content-addressed StageCache and serves
+// the workload a production timing system actually sees -- thousands of
+// nearly identical analyses (driver sizing, R/C tweaks, ECO loops), not
+// one cold run.  Mutations edit the design in place; re-analysis
+// recomputes only the stages whose content actually changed plus the
+// downstream stages whose input slew changed, and serves everything else
+// from cache.  There is no explicit dirty-marking: cache keys are the
+// exact bytes of everything a stage depends on, so a mutation misses by
+// construction and an untouched stage keeps hitting (see
+// timing/stage_cache.h for the key scheme and the corruption defense).
+//
+// Contract: for the timing payload -- stage delays/slews/arrivals, the
+// gate_arrival map, critical path and delay, degraded/failed flags, and
+// diagnostics -- a warm Session::analyze() is bit-identical to a cold
+// Design::analyze() of the mutated design, at every thread count.  The
+// awe_stats cost counters, phase breakdown, and wall_seconds describe
+// the work actually performed, so warm runs report fewer factorizations
+// and nonzero cache_hits / stages_reused -- that asymmetry is the whole
+// point, and it is how the sweep benches measure the speedup.
+//
+// Typical use:
+//   timing::Session session(design);
+//   auto cold = session.analyze();
+//   session.set_value("net3", 2, 150.0);          // tweak one resistor
+//   auto warm = session.analyze();                // touched stages only
+//   auto sweep = session.sweep(
+//       {timing::SweepParam::Kind::DriveResistance, "drv"},
+//       {50.0, 100.0, 200.0, 400.0});
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "timing/analyzer.h"
+
+namespace awesim::timing {
+
+/// What a sweep varies.  `name` selects a net (NetElementValue) or a
+/// gate (the other kinds); `element_index` picks the parasitic within
+/// the net's parasitics vector.
+struct SweepParam {
+  enum class Kind {
+    NetElementValue,   // net parasitic R/C/L value
+    DriveResistance,   // gate switching resistance
+    InputCapacitance,  // gate input pin capacitance
+    IntrinsicDelay,    // gate intrinsic delay
+  };
+  Kind kind = Kind::NetElementValue;
+  std::string name;
+  std::size_t element_index = 0;
+};
+
+struct SweepPoint {
+  double value = 0.0;
+  TimingReport report;
+};
+
+struct SweepResult {
+  /// One full report per swept value, in request order.
+  std::vector<SweepPoint> points;
+  /// Stage-level reuse totals summed over all points (also available
+  /// per point in report.awe_stats).
+  std::uint64_t stages_reused = 0;
+  std::uint64_t stages_recomputed = 0;
+};
+
+class Session {
+ public:
+  /// Takes its own copy of the design; the session mutates that copy.
+  explicit Session(Design design, AnalysisOptions options = {});
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Analyze the current state of the design, reusing cached stages.
+  TimingReport analyze();
+
+  /// Rebind the session's analysis options, then analyze.  Option
+  /// changes that enter the cache key (thresholds, order, swing, input
+  /// slew) miss naturally; `threads` is not part of any key and may be
+  /// changed freely without losing reuse.
+  TimingReport analyze(const AnalysisOptions& options);
+
+  /// Mutators.  Each requires the named net/gate to exist (and the net
+  /// name to be unambiguous -- a design may connect several nets under
+  /// one name); throws std::invalid_argument otherwise.  No explicit
+  /// invalidation happens here: the next analyze() misses on exactly
+  /// the stages whose content these edits changed.
+  void set_value(const std::string& net, std::size_t element_index,
+                 double value);
+  void add_element(const std::string& net, NetElement element);
+  void remove_element(const std::string& net, std::size_t element_index);
+  void set_drive_resistance(const std::string& gate, double value);
+  void set_input_capacitance(const std::string& gate, double value);
+  void set_intrinsic_delay(const std::string& gate, double value);
+
+  /// Sweep one parameter over `values`: apply, analyze, restore the
+  /// original value afterwards.  Warm by construction -- every point
+  /// reuses all stages the previous points already computed.
+  SweepResult sweep(const SweepParam& param,
+                    const std::vector<double>& values);
+
+  const Design& design() const { return design_; }
+  const AnalysisOptions& options() const { return options_; }
+
+  /// Cumulative cache observability, for tests and tooling.
+  struct CacheStats {
+    std::size_t stage_entries = 0;
+    std::size_t factorization_entries = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t evictions = 0;
+  };
+  CacheStats cache_stats() const;
+
+  /// Drop every cached artifact; the next analyze() runs cold.
+  void clear_cache();
+
+ private:
+  double current_value(const SweepParam& param);
+  void apply_value(const SweepParam& param, double value);
+  Net& net_ref(const std::string& net);
+  Gate& gate_ref(const std::string& gate);
+
+  Design design_;
+  AnalysisOptions options_;
+  std::unique_ptr<detail::StageCache> cache_;
+};
+
+}  // namespace awesim::timing

@@ -1,0 +1,242 @@
+#include "timing/stage_cache.h"
+
+#include <cstring>
+#include <utility>
+
+#include "core/fault.h"
+#include "obs/trace.h"
+
+namespace awesim::timing::detail {
+
+KeyBuilder& KeyBuilder::integer(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::number(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return integer(bits);
+}
+
+KeyBuilder& KeyBuilder::text(std::string_view s) {
+  integer(s.size());
+  bytes_.append(s.data(), s.size());
+  return *this;
+}
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t stage_checksum(const StageTiming& timing) {
+  KeyBuilder kb;
+  kb.tag('T')
+      .text(timing.driver_gate)
+      .text(timing.net)
+      .number(timing.input_arrival)
+      .integer(static_cast<std::uint64_t>(timing.awe_order_used))
+      .tag(timing.degraded ? 'd' : '-')
+      .tag(timing.failed ? 'f' : '-');
+  kb.tag('s').integer(timing.sinks.size());
+  for (const auto& s : timing.sinks) {
+    kb.text(s.gate).number(s.stage_delay).number(s.slew).number(s.arrival);
+  }
+  kb.tag('g').integer(timing.diagnostics.size());
+  for (const auto& d : timing.diagnostics) {
+    kb.integer(static_cast<std::uint64_t>(d.code))
+        .integer(static_cast<std::uint64_t>(d.severity))
+        .text(d.message)
+        .text(d.element)
+        .text(d.node);
+  }
+  return fnv1a(kb.bytes());
+}
+
+namespace {
+
+void append_content_key(KeyBuilder& kb, const Gate& driver, const Net& net,
+                        const std::map<std::string, Gate>& gates) {
+  kb.tag('A').number(driver.drive_resistance);
+  kb.tag('P').integer(net.parasitics.size());
+  for (const auto& e : net.parasitics) {
+    char kind = '?';
+    switch (e.kind) {
+      case NetElement::Kind::Resistor: kind = 'R'; break;
+      case NetElement::Kind::Capacitor: kind = 'C'; break;
+      case NetElement::Kind::Inductor: kind = 'L'; break;
+    }
+    kb.tag(kind).text(e.node_a).text(e.node_b).number(e.value);
+  }
+  // net.sink_node is a std::map: sinks serialize name-sorted, matching
+  // the order build_stage walks them.  A sink's input cap enters the key
+  // as the value actually stamped (0 when no capacitor is added).
+  kb.tag('S').integer(net.sink_node.size());
+  for (const auto& [sink, node] : net.sink_node) {
+    const auto it = gates.find(sink);
+    const double cin =
+        (it != gates.end() && it->second.input_capacitance > 0.0)
+            ? it->second.input_capacitance
+            : 0.0;
+    kb.text(sink).text(node).number(cin);
+  }
+}
+
+}  // namespace
+
+std::string stage_content_key(const Gate& driver, const Net& net,
+                              const std::map<std::string, Gate>& gates) {
+  KeyBuilder kb;
+  append_content_key(kb, driver, net, gates);
+  return kb.take();
+}
+
+std::string stage_result_key(const Gate& driver, const Net& net,
+                             const std::map<std::string, Gate>& gates,
+                             const AnalysisOptions& options, double in_slew) {
+  KeyBuilder kb;
+  append_content_key(kb, driver, net, gates);
+  kb.tag('B')
+      .text(driver.name)
+      .text(net.name)
+      .number(driver.intrinsic_delay)
+      .number(options.swing)
+      .number(options.delay_threshold_fraction)
+      .number(options.slew_low_fraction)
+      .number(options.slew_high_fraction)
+      .integer(static_cast<std::uint64_t>(options.order))
+      .number(in_slew);
+  return kb.take();
+}
+
+std::optional<StageTiming> StageCache::lookup_stage(
+    const std::string& key, const std::string& net_name,
+    core::Diagnostics* diags) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stages_.find(key);
+  if (it == stages_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  const bool corrupt = core::fault_at("session.cache", net_name) ||
+                       stage_checksum(it->second.timing) !=
+                           it->second.checksum;
+  if (corrupt) {
+    AWESIM_TRACE_SPAN("session.invalidate");
+    stages_.erase(it);
+    ++counters_.invalidations;
+    ++counters_.misses;
+    if (diags != nullptr) {
+      core::Diagnostic d;
+      d.code = core::DiagCode::CacheInvalidated;
+      d.severity = core::Severity::Warning;
+      d.message =
+          "session stage-cache entry failed verification; dropped and "
+          "recomputed";
+      d.element = net_name;
+      diags->push_back(std::move(d));
+    }
+    return std::nullopt;
+  }
+  AWESIM_TRACE_SPAN("session.reuse");
+  ++counters_.hits;
+  return it->second.timing;
+}
+
+void StageCache::insert_stage(const std::string& key, StageTiming relative) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stages_.count(key) > 0) return;
+  StageEntry entry;
+  entry.checksum = stage_checksum(relative);
+  entry.timing = std::move(relative);
+  entry.sequence = next_sequence_++;
+  stage_order_.emplace_back(entry.sequence, key);
+  stages_.emplace(key, std::move(entry));
+  evict_stages_locked();
+}
+
+std::shared_ptr<const CachedFactorization> StageCache::lookup_factorization(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = factors_.find(key);
+  if (it == factors_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  return it->second.factor;
+}
+
+void StageCache::insert_factorization(const std::string& key,
+                                      CachedFactorization factor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (factors_.count(key) > 0) return;
+  FactorEntry entry;
+  entry.factor =
+      std::make_shared<const CachedFactorization>(std::move(factor));
+  entry.sequence = next_sequence_++;
+  factor_order_.emplace_back(entry.sequence, key);
+  factors_.emplace(key, std::move(entry));
+  evict_factors_locked();
+}
+
+void StageCache::evict_stages_locked() {
+  while (stages_.size() > limits_.max_stage_entries &&
+         !stage_order_.empty()) {
+    const auto [seq, key] = stage_order_.front();
+    stage_order_.pop_front();
+    const auto it = stages_.find(key);
+    if (it == stages_.end() || it->second.sequence != seq) continue;
+    AWESIM_TRACE_SPAN("session.invalidate");
+    stages_.erase(it);
+    ++counters_.evictions;
+  }
+}
+
+void StageCache::evict_factors_locked() {
+  while (factors_.size() > limits_.max_factorizations &&
+         !factor_order_.empty()) {
+    const auto [seq, key] = factor_order_.front();
+    factor_order_.pop_front();
+    const auto it = factors_.find(key);
+    if (it == factors_.end() || it->second.sequence != seq) continue;
+    AWESIM_TRACE_SPAN("session.invalidate");
+    factors_.erase(it);
+    ++counters_.evictions;
+  }
+}
+
+StageCache::Counters StageCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::size_t StageCache::stage_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stages_.size();
+}
+
+std::size_t StageCache::factorization_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factors_.size();
+}
+
+void StageCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stages_.clear();
+  factors_.clear();
+  stage_order_.clear();
+  factor_order_.clear();
+  counters_ = {};
+  next_sequence_ = 0;
+}
+
+}  // namespace awesim::timing::detail

@@ -23,10 +23,24 @@ std::string netlist_path(const std::string& name) {
   return std::string(AWESIM_NETLIST_DIR) + "/" + name;
 }
 
+/// Parse a shipped file through the error-collecting API, asserting it
+/// is clean (the throwing parse_file() shim is deprecated).
+circuit::Circuit parse_file_ok(const std::string& path) {
+  netlist::ParseResult result = netlist::parse_file_collect(path);
+  EXPECT_TRUE(result.ok()) << core::to_string(result.diagnostics);
+  return std::move(result.circuit.value());
+}
+
+circuit::Circuit parse_ok(const std::string& text) {
+  netlist::ParseResult result = netlist::parse_collect(text);
+  EXPECT_TRUE(result.ok()) << core::to_string(result.diagnostics);
+  return std::move(result.circuit.value());
+}
+
 }  // namespace
 
 TEST(NetlistFiles, Fig4MatchesProgrammaticCircuit) {
-  const auto file_ckt = netlist::parse_file(netlist_path("fig4_rc_tree.sp"));
+  const auto file_ckt = parse_file_ok(netlist_path("fig4_rc_tree.sp"));
   auto code_ckt = circuits::fig4_rc_tree();
   core::Engine from_file(file_ckt);
   core::Engine from_code(code_ckt);
@@ -43,7 +57,7 @@ TEST(NetlistFiles, Fig4MatchesProgrammaticCircuit) {
 
 TEST(NetlistFiles, Fig25MatchesProgrammaticPoles) {
   const auto file_ckt =
-      netlist::parse_file(netlist_path("fig25_rlc_ladder.sp"));
+      parse_file_ok(netlist_path("fig25_rlc_ladder.sp"));
   auto code_ckt = circuits::fig25_rlc_ladder();
   core::Engine from_file(file_ckt);
   core::Engine from_code(code_ckt);
@@ -57,7 +71,7 @@ TEST(NetlistFiles, Fig25MatchesProgrammaticPoles) {
 }
 
 TEST(NetlistFiles, CoupledBusAnalyzesEndToEnd) {
-  const auto ckt = netlist::parse_file(netlist_path("coupled_bus.sp"));
+  const auto ckt = parse_file_ok(netlist_path("coupled_bus.sp"));
   // Subcircuit expansion happened: the wire segments exist.
   ASSERT_NE(ckt.find_element("X1.Rw"), nullptr);
   core::Engine engine(ckt);
@@ -78,8 +92,8 @@ TEST(NetlistFiles, CoupledBusAnalyzesEndToEnd) {
 
 TEST(NetlistFiles, WriterRoundTripsTheFig25File) {
   const auto original =
-      netlist::parse_file(netlist_path("fig25_rlc_ladder.sp"));
-  const auto reparsed = netlist::parse(netlist::write(original));
+      parse_file_ok(netlist_path("fig25_rlc_ladder.sp"));
+  const auto reparsed = parse_ok(netlist::write(original));
   core::Engine a(original);
   core::Engine b(reparsed);
   const auto pa = a.actual_poles();

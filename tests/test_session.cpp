@@ -1,0 +1,350 @@
+// timing::Session -- incremental what-if re-analysis.
+//
+// The contract under test: a warm Session::analyze() after any mutation
+// is bit-identical (timing payload: delays, slews, arrivals, critical
+// path, flags, diagnostics) to a cold Design::analyze() of the mutated
+// design, at every thread count; reuse is visible only through the
+// cache/stats counters; and a corrupted cache entry is dropped and
+// recomputed -- never served stale.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "timing/session.h"
+
+namespace awesim::timing {
+
+namespace {
+
+NetElement r(const std::string& a, const std::string& b, double v) {
+  return {NetElement::Kind::Resistor, a, b, v};
+}
+NetElement c(const std::string& a, double v) {
+  return {NetElement::Kind::Capacitor, a, "0", v};
+}
+
+// Reconvergent fanout plus a design-output endpoint:
+//   g1 -n1-> {g2, g3};  g2 -n2-> g4;  g3 -n3-> g4;  g4 -n4-> OUT.
+Design fanout_design() {
+  Design d;
+  d.add_gate({"g1", 1.0e3, 4e-15, 5e-12});
+  d.add_gate({"g2", 1.2e3, 5e-15, 7e-12});
+  d.add_gate({"g3", 0.9e3, 6e-15, 6e-12});
+  d.add_gate({"g4", 1.1e3, 4e-15, 8e-12});
+
+  Net n1;
+  n1.name = "n1";
+  n1.parasitics = {r("DRV", "a", 150.0),  c("a", 40e-15),
+                   r("a", "w2", 220.0),   c("w2", 25e-15),
+                   r("a", "w3", 330.0),   c("w3", 35e-15)};
+  n1.sink_node["g2"] = "w2";
+  n1.sink_node["g3"] = "w3";
+  d.add_net("g1", n1);
+
+  Net n2;
+  n2.name = "n2";
+  n2.parasitics = {r("DRV", "b", 270.0), c("b", 60e-15)};
+  n2.sink_node["g4"] = "b";
+  d.add_net("g2", n2);
+
+  Net n3;
+  n3.name = "n3";
+  n3.parasitics = {r("DRV", "bc", 410.0), c("bc", 45e-15)};
+  n3.sink_node["g4"] = "bc";
+  d.add_net("g3", n3);
+
+  Net n4;
+  n4.name = "n4";
+  n4.parasitics = {r("DRV", "o", 190.0), c("o", 80e-15)};
+  n4.sink_node["OUT"] = "o";  // no such gate: design output endpoint
+  d.add_net("g4", n4);
+
+  d.set_primary_input("g1");
+  return d;
+}
+
+// A straight chain g1 -n1-> g2 -n2-> g3 -n3-> g4 with per-stage distinct
+// parasitics (distinct content keys).
+Design chain_design(int gates = 4) {
+  Design d;
+  for (int i = 1; i <= gates; ++i) {
+    d.add_gate({"g" + std::to_string(i), 1.0e3 + 10.0 * i, 4e-15,
+                5e-12});
+  }
+  for (int i = 1; i < gates; ++i) {
+    Net net;
+    net.name = "n" + std::to_string(i);
+    net.parasitics = {r("DRV", "w", 200.0 + 13.0 * i),
+                      c("w", (20.0 + i) * 1e-15),
+                      r("w", "w2", 250.0 + 7.0 * i), c("w2", 30e-15)};
+    net.sink_node["g" + std::to_string(i + 1)] = "w2";
+    d.add_net("g" + std::to_string(i), net);
+  }
+  d.set_primary_input("g1");
+  return d;
+}
+
+// Bitwise comparison of the timing payload the bit-identity contract
+// covers.  awe_stats (cost counters), phases, and wall_seconds are
+// deliberately outside the contract -- they describe work performed,
+// which is exactly what warm runs save.
+void expect_same_payload(const TimingReport& a, const TimingReport& b,
+                         bool compare_diagnostics = true) {
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    const StageTiming& x = a.stages[i];
+    const StageTiming& y = b.stages[i];
+    EXPECT_EQ(x.driver_gate, y.driver_gate);
+    EXPECT_EQ(x.net, y.net);
+    EXPECT_EQ(x.input_arrival, y.input_arrival);
+    EXPECT_EQ(x.awe_order_used, y.awe_order_used);
+    EXPECT_EQ(x.degraded, y.degraded);
+    EXPECT_EQ(x.failed, y.failed);
+    ASSERT_EQ(x.sinks.size(), y.sinks.size());
+    for (std::size_t j = 0; j < x.sinks.size(); ++j) {
+      EXPECT_EQ(x.sinks[j].gate, y.sinks[j].gate);
+      EXPECT_EQ(x.sinks[j].stage_delay, y.sinks[j].stage_delay);
+      EXPECT_EQ(x.sinks[j].slew, y.sinks[j].slew);
+      EXPECT_EQ(x.sinks[j].arrival, y.sinks[j].arrival);
+    }
+    if (compare_diagnostics) {
+      ASSERT_EQ(x.diagnostics.size(), y.diagnostics.size());
+      for (std::size_t j = 0; j < x.diagnostics.size(); ++j) {
+        EXPECT_EQ(x.diagnostics[j].code, y.diagnostics[j].code);
+        EXPECT_EQ(x.diagnostics[j].severity, y.diagnostics[j].severity);
+        EXPECT_EQ(x.diagnostics[j].message, y.diagnostics[j].message);
+        EXPECT_EQ(x.diagnostics[j].element, y.diagnostics[j].element);
+        EXPECT_EQ(x.diagnostics[j].node, y.diagnostics[j].node);
+      }
+    }
+  }
+  EXPECT_EQ(a.gate_arrival, b.gate_arrival);
+  EXPECT_EQ(a.critical_delay, b.critical_delay);
+  EXPECT_EQ(a.critical_path, b.critical_path);
+  EXPECT_EQ(a.levels, b.levels);
+  EXPECT_EQ(a.degraded_stages, b.degraded_stages);
+  EXPECT_EQ(a.failed_stages, b.failed_stages);
+  if (compare_diagnostics) {
+    EXPECT_EQ(a.diagnostics.size(), b.diagnostics.size());
+  }
+}
+
+}  // namespace
+
+TEST(Session, ColdRunMatchesDesignAnalyze) {
+  AnalysisOptions opt;
+  opt.threads = 1;
+  Session session(fanout_design(), opt);
+  const TimingReport warm = session.analyze();
+  const TimingReport cold = fanout_design().analyze(opt);
+  expect_same_payload(warm, cold);
+  // A first run computes everything.
+  EXPECT_EQ(warm.awe_stats.stages_reused, 0u);
+  EXPECT_EQ(warm.awe_stats.stages_recomputed, 4u);
+}
+
+TEST(Session, MutationBitIdenticalToColdAnalysisAtAnyThreadCount) {
+  for (int threads : {1, 2, 8}) {
+    AnalysisOptions opt;
+    opt.threads = threads;
+    Session session(fanout_design(), opt);
+    (void)session.analyze();
+    session.set_value("n2", 0, 777.0);  // resistor tweak on a mid stage
+    const TimingReport warm = session.analyze();
+    EXPECT_GT(warm.awe_stats.stages_reused, 0u)
+        << "threads=" << threads;
+
+    const Design mutated = session.design();
+    const TimingReport cold = mutated.analyze(opt);
+    expect_same_payload(warm, cold);
+    EXPECT_EQ(cold.awe_stats.cache_hits, 0u);  // no cache on Design path
+  }
+}
+
+TEST(Session, TopologyEditInvalidatesDownstreamOnly) {
+  AnalysisOptions opt;
+  opt.threads = 1;
+  Session session(chain_design(4), opt);  // stages n1, n2, n3
+  const TimingReport first = session.analyze();
+  EXPECT_EQ(first.awe_stats.stages_recomputed, 3u);
+
+  // Adding a capacitor to n2 changes n2's content (recompute), and the
+  // slew it feeds g3 (so n3 recomputes too) -- but upstream n1 is
+  // untouched and must be served from cache.
+  session.add_element("n2", c("w", 15e-15));
+  const TimingReport warm = session.analyze();
+  EXPECT_EQ(warm.awe_stats.stages_reused, 1u);
+  EXPECT_EQ(warm.awe_stats.stages_recomputed, 2u);
+  expect_same_payload(warm, session.design().analyze(opt));
+
+  // Removing the appended element (index 4) restores the original
+  // content: all three stages hit again.
+  session.remove_element("n2", 4);
+  const TimingReport back = session.analyze();
+  EXPECT_EQ(back.awe_stats.stages_reused, 3u);
+  EXPECT_EQ(back.awe_stats.stages_recomputed, 0u);
+  expect_same_payload(back, first, /*compare_diagnostics=*/true);
+}
+
+TEST(Session, IntrinsicDelayEditReusesLuAndDownstreamStages) {
+  AnalysisOptions opt;
+  opt.threads = 1;
+  Session session(chain_design(4), opt);
+  const TimingReport cold = session.analyze();
+  const Session::CacheStats before = session.cache_stats();
+
+  // Intrinsic delay shifts n2's delay (result key changes) but not the
+  // stage circuit (content key unchanged: the LU is adopted) and not the
+  // slew n2 feeds g3 (n3's result key unchanged: served with shifted
+  // arrivals).  n1 is untouched.
+  session.set_intrinsic_delay("g2", 9e-12);
+  const TimingReport warm = session.analyze();
+  EXPECT_EQ(warm.awe_stats.stages_reused, 2u);
+  EXPECT_EQ(warm.awe_stats.stages_recomputed, 1u);
+  // The one recomputed stage adopted the cached factorization of G and
+  // skipped exactly that LU; the sigma-limit (G + sigma C) factors it
+  // still performs are per-stage identical, so the cold run's three
+  // stages each cost one factorization more than the warm stage.
+  EXPECT_GT(cold.awe_stats.factorizations, 0u);
+  EXPECT_EQ(cold.awe_stats.factorizations,
+            3 * (warm.awe_stats.factorizations + 1));
+
+  const Session::CacheStats after = session.cache_stats();
+  // Three lookups hit: stage n1, stage n3, and n2's LU content key.
+  EXPECT_EQ(after.hits - before.hits, 3u);
+
+  expect_same_payload(warm, session.design().analyze(opt));
+}
+
+TEST(Session, CorruptedCacheEntryRecomputesNeverServesStale) {
+  AnalysisOptions opt;
+  opt.threads = 1;
+  Session session(chain_design(4), opt);
+  const TimingReport fresh = session.analyze();
+
+  {
+    core::ScopedFaultInjection arm({{"session.cache", "n2", -1}});
+    const TimingReport warm = session.analyze();
+    // The corrupt entry was dropped and n2 recomputed through the
+    // ordinary guarded path -- the timing payload matches a fresh
+    // analysis exactly (never stale) ...
+    expect_same_payload(warm, fresh, /*compare_diagnostics=*/false);
+    EXPECT_EQ(warm.awe_stats.stages_recomputed, 1u);
+    EXPECT_EQ(warm.awe_stats.stages_reused, 2u);
+    // ... and the event is visible: a CacheInvalidated warning naming
+    // the net, plus the invalidation counter.
+    bool saw_invalidation = false;
+    for (const auto& d : warm.diagnostics) {
+      if (d.code == core::DiagCode::CacheInvalidated &&
+          d.element == "n2") {
+        saw_invalidation = true;
+      }
+    }
+    EXPECT_TRUE(saw_invalidation);
+    EXPECT_EQ(session.cache_stats().invalidations, 1u);
+  }
+
+  // Disarmed: the recomputed entry serves again, no stale residue.
+  const TimingReport after = session.analyze();
+  expect_same_payload(after, fresh);
+  EXPECT_EQ(after.awe_stats.stages_reused, 3u);
+  EXPECT_EQ(session.cache_stats().invalidations, 1u);
+}
+
+TEST(Session, SweepRestoresParameterAndSecondSweepFullyReuses) {
+  AnalysisOptions opt;
+  opt.threads = 1;
+  Session session(chain_design(4), opt);
+  (void)session.analyze();
+
+  const SweepParam param{SweepParam::Kind::NetElementValue, "n2", 0};
+  const std::vector<double> values = {120.0, 240.0, 480.0};
+  const SweepResult sweep1 = session.sweep(param, values);
+  ASSERT_EQ(sweep1.points.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(sweep1.points[i].value, values[i]);
+    EXPECT_EQ(sweep1.points[i].report.stages.size(), 3u);
+  }
+  // Each warm point is bit-identical to a cold analysis of that value.
+  {
+    Session cold_point(chain_design(4), opt);
+    cold_point.set_value("n2", 0, 240.0);
+    const Design d = cold_point.design();
+    expect_same_payload(sweep1.points[1].report, d.analyze(opt));
+  }
+  // The sweep restored the original value: analyzing now reuses
+  // everything the pre-sweep run cached.
+  const TimingReport restored = session.analyze();
+  EXPECT_EQ(restored.awe_stats.stages_reused, 3u);
+  EXPECT_EQ(restored.awe_stats.stages_recomputed, 0u);
+
+  // A second identical sweep is pure cache replay.
+  const SweepResult sweep2 = session.sweep(param, values);
+  EXPECT_EQ(sweep2.stages_recomputed, 0u);
+  EXPECT_EQ(sweep2.stages_reused, sweep1.stages_reused +
+                                      sweep1.stages_recomputed);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    expect_same_payload(sweep2.points[i].report, sweep1.points[i].report);
+  }
+}
+
+TEST(Session, CacheCountersAreIdenticalAcrossThreadCounts) {
+  auto run = [](int threads) {
+    AnalysisOptions opt;
+    opt.threads = threads;
+    Session session(fanout_design(), opt);
+    (void)session.analyze();
+    session.set_value("n1", 0, 175.0);
+    (void)session.analyze();
+    session.set_drive_resistance("g3", 1.4e3);
+    const TimingReport last = session.analyze();
+    return std::make_pair(session.cache_stats(), last);
+  };
+  const auto [stats1, report1] = run(1);
+  const auto [stats8, report8] = run(8);
+  EXPECT_EQ(stats1.hits, stats8.hits);
+  EXPECT_EQ(stats1.misses, stats8.misses);
+  EXPECT_EQ(stats1.invalidations, stats8.invalidations);
+  EXPECT_EQ(stats1.evictions, stats8.evictions);
+  EXPECT_EQ(stats1.stage_entries, stats8.stage_entries);
+  EXPECT_EQ(stats1.factorization_entries, stats8.factorization_entries);
+  EXPECT_EQ(report1.awe_stats.cache_hits, report8.awe_stats.cache_hits);
+  EXPECT_EQ(report1.awe_stats.cache_misses,
+            report8.awe_stats.cache_misses);
+  expect_same_payload(report1, report8);
+}
+
+TEST(Session, FactorizationCacheEvictsFifoBeyondCapacity) {
+  // 19 stages with 19 distinct circuits: more than the 16-entry LU cap.
+  AnalysisOptions opt;
+  opt.threads = 1;
+  Session session(chain_design(20), opt);
+  (void)session.analyze();
+  const Session::CacheStats stats = session.cache_stats();
+  EXPECT_EQ(stats.stage_entries, 19u);
+  EXPECT_EQ(stats.factorization_entries, 16u);
+  EXPECT_EQ(stats.evictions, 3u);
+
+  // Stage-result entries survived the LU evictions: a second run still
+  // replays every stage.
+  const TimingReport warm = session.analyze();
+  EXPECT_EQ(warm.awe_stats.stages_reused, 19u);
+  EXPECT_EQ(warm.awe_stats.stages_recomputed, 0u);
+}
+
+TEST(Session, MutatorValidation) {
+  Session session(chain_design(3), {});
+  EXPECT_THROW(session.set_value("nope", 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(session.set_value("n1", 99, 1.0), std::invalid_argument);
+  EXPECT_THROW(session.remove_element("n1", 99), std::invalid_argument);
+  EXPECT_THROW(session.set_drive_resistance("ghost", 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      session.sweep({SweepParam::Kind::NetElementValue, "nope", 0}, {1.0}),
+      std::invalid_argument);
+}
+
+}  // namespace awesim::timing
