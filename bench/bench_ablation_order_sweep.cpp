@@ -36,6 +36,7 @@ void sweep(circuit::Circuit& ckt, const char* node, const char* name,
     core::EngineOptions opt;
     opt.order = q;
     opt.degrade = false;  // the sweep reports raw per-order stability
+    opt.preflight_lint = false;
     const auto r = engine.approximate(out, opt);
     core::EngineOptions copt = opt;
     copt.cauchy_error_bound = true;

@@ -28,10 +28,12 @@ int main() {
   core::EngineOptions o1;
   o1.order = 1;
   o1.degrade = false;  // this experiment studies the raw (in)stability
+  o1.preflight_lint = false;
   const auto r1 = engine.approximate(out, o1);
   core::EngineOptions o2;
   o2.order = 2;
   o2.degrade = false;
+  o2.preflight_lint = false;
   const auto r2 = engine.approximate(out, o2);
 
   sim::TransientSimulator sim(ckt);

@@ -1,0 +1,7 @@
+* I1 drives node x which only capacitors touch: no DC return path
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1p
+I1 0 x DC 1m
+C2 x 0 2p
+.end

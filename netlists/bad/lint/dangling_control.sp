@@ -1,0 +1,6 @@
+* F1 references a controlling voltage source that does not exist
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1p
+F1 out 0 Vmissing 2
+.end

@@ -1,0 +1,7 @@
+* nodes a/b form an island with their own source and no path to ground
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1p
+V2 a b DC 1
+R2 a b 2k
+.end

@@ -1,0 +1,7 @@
+* V1-L1-L2 is a loop of voltage-defined branches: structurally singular
+V1 in 0 DC 1
+L1 in out 1n
+L2 out 0 2n
+R1 out 0 1k
+C1 out 0 1p
+.end

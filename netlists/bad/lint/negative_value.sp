@@ -1,0 +1,5 @@
+* a negative resistance is nonphysical in an extracted interconnect net
+V1 in 0 DC 1
+R1 in out -1k
+C1 out 0 1p
+.end

@@ -1,0 +1,142 @@
+// awesim_lint: standalone netlist lint driver over the src/check rule
+// pipeline.  Lints each netlist given on the command line and prints the
+// findings, either human-readable (default) or as a schema'd JSON
+// document (--json[=path]) written with the same obs::json writer the
+// bench harness uses, so downstream tooling can parse it with the
+// matching reader.
+//
+//   awesim_lint [--json[=FILE]] [--no-note] netlist.sp [more.sp ...]
+//
+// Exit status: 0 when every file linted without Error-severity findings,
+// 1 when any file had errors (or could not be read), 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/lint.h"
+#include "obs/json.h"
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+awesim::obs::json::Value diagnostic_to_json(
+    const awesim::core::Diagnostic& d) {
+  using awesim::obs::json::Value;
+  Value out = Value::object();
+  out.set("code", awesim::core::to_string(d.code));
+  out.set("severity", awesim::core::to_string(d.severity));
+  out.set("message", d.message);
+  if (!d.element.empty()) out.set("element", d.element);
+  if (!d.node.empty()) out.set("node", d.node);
+  if (d.line > 0) {
+    if (!d.file.empty()) out.set("file", d.file);
+    out.set("line", static_cast<unsigned long long>(d.line));
+    out.set("column", static_cast<unsigned long long>(d.column));
+  }
+  return out;
+}
+
+awesim::obs::json::Value report_to_json(
+    const std::string& path, const awesim::check::LintReport& report) {
+  using awesim::obs::json::Value;
+  Value out = Value::object();
+  out.set("file", path);
+  out.set("topology", awesim::check::to_string(report.topology));
+  out.set("errors", static_cast<unsigned long long>(report.errors));
+  out.set("warnings", static_cast<unsigned long long>(report.warnings));
+  out.set("ok", report.ok());
+  Value diags = Value::array();
+  for (const auto& d : report.diagnostics) {
+    diags.push_back(diagnostic_to_json(d));
+  }
+  out.set("diagnostics", std::move(diags));
+  return out;
+}
+
+void print_human(const std::string& path,
+                 const awesim::check::LintReport& report) {
+  std::printf("%s: %s, %zu error(s), %zu warning(s)\n", path.c_str(),
+              awesim::check::to_string(report.topology), report.errors,
+              report.warnings);
+  for (const auto& d : report.diagnostics) {
+    std::printf("  %s\n", d.to_string().c_str());
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json[=FILE]] [--no-note] netlist.sp "
+               "[more.sp ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path;
+  awesim::check::LintOptions options;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg == "--no-note") {
+      options.classify_note = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                   arg.c_str());
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(argv[0]);
+
+  using awesim::obs::json::Value;
+  Value doc = Value::object();
+  doc.set("schema_version", kSchemaVersion);
+  doc.set("tool", "awesim_lint");
+  Value json_files = Value::array();
+
+  std::size_t total_errors = 0;
+  for (const auto& path : files) {
+    const awesim::check::LintReport report =
+        awesim::check::lint_file(path, options);
+    total_errors += report.errors;
+    if (json) {
+      json_files.push_back(report_to_json(path, report));
+    } else {
+      print_human(path, report);
+    }
+  }
+
+  if (json) {
+    doc.set("files", std::move(json_files));
+    const std::string text = doc.dump(2) + "\n";
+    if (json_path.empty()) {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::FILE* out = std::fopen(json_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0],
+                     json_path.c_str());
+        return 2;
+      }
+      std::fputs(text.c_str(), out);
+      std::fclose(out);
+    }
+  }
+
+  return total_errors > 0 ? 1 : 0;
+}

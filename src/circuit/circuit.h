@@ -31,6 +31,19 @@ enum class ElementKind {
   Ccvs,  // H: current-controlled voltage source
 };
 
+/// Where an element came from in netlist source text (1-based; line 0
+/// means "not netlist-derived" -- programmatically built circuits carry
+/// no locations).  The parser attaches one per element so downstream
+/// diagnostics (the src/check lint rules in particular) can point at the
+/// offending card as file:line:column.
+struct SourceLoc {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t column = 0;
+
+  bool known() const { return line > 0; }
+};
+
 /// One circuit element.  Two-terminal elements use (pos, neg); controlled
 /// sources additionally reference a controlling node pair (VCVS/VCCS) or a
 /// controlling voltage-source element (CCCS/CCVS).
@@ -56,6 +69,10 @@ struct Element {
   /// Initial condition: capacitor branch voltage v(pos)-v(neg) or inductor
   /// current (pos -> neg), at t = 0-.
   std::optional<double> initial_condition;
+
+  /// Netlist source location of the card that created this element
+  /// (line 0 when built programmatically).
+  SourceLoc loc;
 };
 
 /// A netlist-level circuit: a node name table plus an element list.

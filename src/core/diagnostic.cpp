@@ -17,6 +17,14 @@ const char* to_string(DiagCode code) {
     case DiagCode::NonFiniteValue: return "non-finite-value";
     case DiagCode::ParseError: return "parse-error";
     case DiagCode::ValidationError: return "validation-error";
+    case DiagCode::FloatingIsland: return "floating-island";
+    case DiagCode::InductorLoop: return "inductor-loop";
+    case DiagCode::CapacitorCutset: return "capacitor-cutset";
+    case DiagCode::ValueOutOfRange: return "value-out-of-range";
+    case DiagCode::SuspiciousValue: return "suspicious-value";
+    case DiagCode::DanglingControl: return "dangling-control";
+    case DiagCode::ControlCycle: return "control-cycle";
+    case DiagCode::TopologyNote: return "topology-note";
     case DiagCode::StageDegraded: return "stage-degraded";
     case DiagCode::StageFailed: return "stage-failed";
     case DiagCode::CacheInvalidated: return "cache-invalidated";

@@ -39,6 +39,15 @@ enum class DiagCode {
   // Netlist front end.
   ParseError,       // malformed card, token, or directive
   ValidationError,  // structurally invalid circuit (dup names, bad values)
+  // Static circuit lint (src/check, pre-flight electrical rule checks).
+  FloatingIsland,   // nodes with no element path to ground at all
+  InductorLoop,     // loop of only voltage-defined branches (V/L/E/H)
+  CapacitorCutset,  // I-source cut off from ground by capacitors only
+  ValueOutOfRange,  // negative/zero/NaN/Inf R, C, or L value
+  SuspiciousValue,  // element value wildly outside its usual unit scale
+  DanglingControl,  // controlled source senses an otherwise-unused node
+  ControlCycle,     // controlled sources forming a dependency cycle
+  TopologyNote,     // Info: structural classification (RC tree/mesh/RLC)
   // Timing analysis.
   StageDegraded,    // a stage answered with a degraded (flagged) estimate
   StageFailed,      // a stage could not be approximated; bound substituted

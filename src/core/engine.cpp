@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "check/lint.h"
 #include "core/error.h"
 #include "core/fault.h"
 #include "obs/trace.h"
@@ -234,11 +235,33 @@ std::vector<Engine::AtomProblem>& Engine::atom_problems() {
   return atoms_;
 }
 
+// One lint pass per engine, on the first approximation that asks for it.
+// Errors abort before any matrix work with the structured lint record;
+// warnings only feed the Stats tallies.
+void Engine::preflight(const EngineOptions& options) {
+  if (!options.preflight_lint || lint_done_) return;
+  lint_done_ = true;
+  check::LintOptions lint_options;
+  lint_options.classify_note = false;
+  const check::LintReport report = check::lint(mna_.circuit(), lint_options);
+  stats_.lint_errors += report.errors;
+  stats_.lint_warnings += report.warnings;
+  if (report.ok()) return;
+  for (const auto& d : report.diagnostics) {
+    if (d.severity >= Severity::Error) {
+      Diagnostic fatal = d;
+      fatal.severity = Severity::Fatal;
+      throw DiagnosticError(std::move(fatal));
+    }
+  }
+}
+
 Result Engine::approximate(circuit::NodeId output,
                            const EngineOptions& options) {
   if (options.order < 1) {
     throw std::invalid_argument("Engine: order >= 1 required");
   }
+  preflight(options);
   const std::size_t out = mna_.node_index(output);
   Result result = approximate_at(out, options);
   sync_mna_stats();
@@ -251,6 +274,7 @@ BatchResult Engine::approximate_all(
   if (options.order < 1) {
     throw std::invalid_argument("Engine: order >= 1 required");
   }
+  preflight(options);
   std::vector<std::size_t> indices;
   indices.reserve(outputs.size());
   for (const auto output : outputs) {

@@ -66,6 +66,24 @@ struct EngineOptions {
   /// Result::error_estimate is NaN and auto_order is unavailable.
   bool estimate_error = true;
 
+  /// Run the src/check static lint pipeline over the circuit before the
+  /// first approximation this engine performs (memoized: one lint per
+  /// Engine, whatever the number of approximate calls).  Error-severity
+  /// findings -- voltage-source/inductor loops, current sources cut off
+  /// by capacitors, islands driven by sources, nonphysical values --
+  /// would otherwise surface as a SingularPivot deep inside the LU with
+  /// nothing but matrix indices; with the pre-flight they throw
+  /// DiagnosticError carrying the first lint record (element names,
+  /// node names, netlist file:line:column).  Warnings never block; they
+  /// are tallied into Stats::lint_warnings only.
+  ///
+  /// This is the documented escape hatch: set false when the caller has
+  /// already linted the circuit (the timing analyzer pre-flights each
+  /// stage itself and passes false here), or when deliberately feeding
+  /// pathological circuits to study raw behavior (the Fig. 20/21
+  /// instability benches).
+  bool preflight_lint = true;
+
   /// Walk the degradation ladder instead of returning an unstable model:
   /// when the eq. 24 window and the Section 3.3 shifted window both fail
   /// (and auto-order escalation, if enabled, is exhausted), step the
@@ -225,6 +243,7 @@ class Engine {
 
   std::vector<AtomProblem>& atom_problems();
   const la::RealVector& equilibrium();
+  void preflight(const EngineOptions& options);
   Result approximate_at(std::size_t out, const EngineOptions& options);
   MatchResult attempt_order(const std::vector<double>& mu, int j0, int qq,
                             const EngineOptions& options,
@@ -239,6 +258,7 @@ class Engine {
   mna::MnaSystem mna_;
   std::vector<AtomProblem> atoms_;
   bool atoms_built_ = false;
+  bool lint_done_ = false;
   std::optional<la::RealVector> x_eq_;
   Stats stats_;
 };

@@ -94,7 +94,9 @@ bool FaultInjector::arm_spec(std::string_view spec) {
     } else {
       rule.site = std::string(item.substr(0, colon));
       rule.key = std::string(item.substr(colon + 1));
-      if (rule.key.empty()) rule.key = "*";
+      // push_back rather than = "*": GCC 12's -Wrestrict misfires on
+      // string::operator=(const char*) here at -O2 (GCC PR 105651).
+      if (rule.key.empty()) rule.key.push_back('*');
     }
     if (!rule.site.empty()) rules.push_back(std::move(rule));
   }

@@ -14,6 +14,8 @@ Stats& Stats::operator+=(const Stats& other) {
   cache_misses += other.cache_misses;
   stages_reused += other.stages_reused;
   stages_recomputed += other.stages_recomputed;
+  lint_errors += other.lint_errors;
+  lint_warnings += other.lint_warnings;
   window_shifts += other.window_shifts;
   order_stepdowns += other.order_stepdowns;
   elmore_fallbacks += other.elmore_fallbacks;
@@ -36,6 +38,8 @@ Stats& Stats::operator-=(const Stats& other) {
   cache_misses -= other.cache_misses;
   stages_reused -= other.stages_reused;
   stages_recomputed -= other.stages_recomputed;
+  lint_errors -= other.lint_errors;
+  lint_warnings -= other.lint_warnings;
   window_shifts -= other.window_shifts;
   order_stepdowns -= other.order_stepdowns;
   elmore_fallbacks -= other.elmore_fallbacks;
@@ -74,6 +78,13 @@ std::string Stats::summary() const {
                        static_cast<unsigned long long>(order_stepdowns),
                        static_cast<unsigned long long>(elmore_fallbacks),
                        static_cast<unsigned long long>(failures));
+  }
+  if (lint_errors + lint_warnings > 0 && n > 0 &&
+      static_cast<std::size_t>(n) < sizeof buf) {
+    n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                       " | lint %llu error, %llu warning",
+                       static_cast<unsigned long long>(lint_errors),
+                       static_cast<unsigned long long>(lint_warnings));
   }
   if (cache_hits + cache_misses > 0 && n > 0 &&
       static_cast<std::size_t>(n) < sizeof buf) {

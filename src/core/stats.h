@@ -49,6 +49,14 @@ struct Stats {
   std::uint64_t stages_reused = 0;
   std::uint64_t stages_recomputed = 0;
 
+  /// Pre-flight lint findings (src/check rule pipeline) tallied by the
+  /// layer that ran the lint: Engine when EngineOptions::preflight_lint
+  /// is on, the timing analyzer for its per-stage pre-flight.  Cached
+  /// lint reports (timing::Session) re-count on every analyze, so the
+  /// tallies are a property of the analyzed design, not of cache state.
+  std::uint64_t lint_errors = 0;
+  std::uint64_t lint_warnings = 0;
+
   /// Degradation-ladder counters (see EngineOptions::degrade and
   /// DESIGN.md "Failure taxonomy").  Rung counters are per atom-match;
   /// degradations/failures are per output (worst rung of the Result).

@@ -190,6 +190,7 @@ struct ExpandContext {
   const std::map<std::string, SubcktDef>* subckts;
   std::string prefix;                                  // "X1." etc.
   const std::map<std::string, std::string>* port_map;  // local -> global
+  const std::string* file = nullptr;  // netlist filename for SourceLocs
   int depth = 0;
 };
 
@@ -241,6 +242,7 @@ void expand_instance(const Card& card, const ExpandContext& ctx) {
   inner.subckts = ctx.subckts;
   inner.prefix = ctx.prefix + tokens[0] + ".";
   inner.port_map = &port_map;
+  inner.file = ctx.file;
   inner.depth = ctx.depth + 1;
   for (const Card& inner_card : def.cards) {
     if (!inner_card.tokens.empty()) process_card(inner_card, inner);
@@ -297,60 +299,68 @@ void process_card(const Card& card, const ExpandContext& ctx) {
   auto node_of = [&](std::size_t i) {
     return ckt.node(map_node(ctx, tokens[i]));
   };
+  // Every element remembers the card that created it, so the src/check
+  // lint rules can report file:line:column for topological problems that
+  // only surface after the whole circuit is assembled.
+  auto locate = [&](circuit::Element& el) {
+    if (ctx.file != nullptr) el.loc.file = *ctx.file;
+    el.loc.line = card.line;
+    el.loc.column = card.column(0);
+  };
   const std::string name = ctx.prefix + tokens[0];
 
   switch (head[0]) {
     case 'r': {
       need(4);
-      ckt.add_resistor(name, node_of(1), node_of(2), value_of(3));
+      locate(ckt.add_resistor(name, node_of(1), node_of(2), value_of(3)));
       break;
     }
     case 'c': {
       need(4);
-      ckt.add_capacitor(name, node_of(1), node_of(2), value_of(3),
-                        parse_ic(card, 4));
+      locate(ckt.add_capacitor(name, node_of(1), node_of(2), value_of(3),
+                               parse_ic(card, 4)));
       break;
     }
     case 'l': {
       need(4);
-      ckt.add_inductor(name, node_of(1), node_of(2), value_of(3),
-                       parse_ic(card, 4));
+      locate(ckt.add_inductor(name, node_of(1), node_of(2), value_of(3),
+                              parse_ic(card, 4)));
       break;
     }
     case 'v': {
       need(4);
-      ckt.add_vsource(name, node_of(1), node_of(2),
-                      parse_stimulus(card, 3));
+      locate(ckt.add_vsource(name, node_of(1), node_of(2),
+                             parse_stimulus(card, 3)));
       break;
     }
     case 'i': {
       need(4);
-      ckt.add_isource(name, node_of(1), node_of(2),
-                      parse_stimulus(card, 3));
+      locate(ckt.add_isource(name, node_of(1), node_of(2),
+                             parse_stimulus(card, 3)));
       break;
     }
     case 'e': {
       need(6);
-      ckt.add_vcvs(name, node_of(1), node_of(2), node_of(3), node_of(4),
-                   value_of(5));
+      locate(ckt.add_vcvs(name, node_of(1), node_of(2), node_of(3),
+                          node_of(4), value_of(5)));
       break;
     }
     case 'g': {
       need(6);
-      ckt.add_vccs(name, node_of(1), node_of(2), node_of(3), node_of(4),
-                   value_of(5));
+      locate(ckt.add_vccs(name, node_of(1), node_of(2), node_of(3),
+                          node_of(4), value_of(5)));
       break;
     }
     case 'f': {
       need(5);
-      ckt.add_cccs(name, node_of(1), node_of(2), ctx.prefix + tokens[3],
-                   value_of(4));
+      locate(ckt.add_cccs(name, node_of(1), node_of(2),
+                          ctx.prefix + tokens[3], value_of(4)));
       break;
     }
     case 'h': {
       need(5);
-      ckt.add_ccvs(name, node_of(1), node_of(2), ctx.prefix + tokens[3],
-                   value_of(4));
+      locate(ckt.add_ccvs(name, node_of(1), node_of(2),
+                          ctx.prefix + tokens[3], value_of(4)));
       break;
     }
     case 'x': {
@@ -365,7 +375,7 @@ void process_card(const Card& card, const ExpandContext& ctx) {
 }  // namespace
 
 ParseResult parse_collect(std::string_view text,
-                          const std::string& filename) {
+                          const std::string& filename, bool validate) {
   ParseResult result;
 
   auto record_parse = [&](const ParseError& e) {
@@ -492,6 +502,7 @@ ParseResult parse_collect(std::string_view text,
   ctx.ckt = &ckt;
   ctx.subckts = &subckts;
   ctx.port_map = nullptr;
+  ctx.file = &filename;
   for (const Card& card : top) {
     if (card.tokens.empty()) continue;
     try {
@@ -505,11 +516,15 @@ ParseResult parse_collect(std::string_view text,
     }
   }
   if (count_at_least(result.diagnostics, core::Severity::Error) == 0) {
-    try {
-      ckt.validate();
+    if (validate) {
+      try {
+        ckt.validate();
+        result.circuit = std::move(ckt);
+      } catch (const std::exception& e) {
+        record_validation(0, e.what());
+      }
+    } else {
       result.circuit = std::move(ckt);
-    } catch (const std::exception& e) {
-      record_validation(0, e.what());
     }
   }
   return result;
@@ -551,7 +566,7 @@ circuit::Circuit parse_file(const std::string& path) {
   return first_error_or_circuit(parse_collect(buf.str()));
 }
 
-ParseResult parse_file_collect(const std::string& path) {
+ParseResult parse_file_collect(const std::string& path, bool validate) {
   std::ifstream in(path);
   if (!in) {
     ParseResult result;
@@ -565,7 +580,7 @@ ParseResult parse_file_collect(const std::string& path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_collect(buf.str(), path);
+  return parse_collect(buf.str(), path, validate);
 }
 
 namespace {

@@ -101,13 +101,23 @@ circuit::Circuit parse_file(const std::string& path);
 
 /// Parse, collecting ALL errors instead of throwing on the first.  Every
 /// diagnostic carries file (if given), 1-based line and column, and the
-/// offending token in its `element` field.
+/// offending token in its `element` field.  Every built element carries
+/// its card's SourceLoc, so downstream checks (src/check) can point at
+/// the offending netlist line.
+///
+/// `validate` controls the final Circuit::validate() gate.  The default
+/// keeps the historical contract (a structurally invalid circuit yields
+/// a ValidationError diagnostic and no circuit); the lint front end
+/// passes false so it can run its own located rule pipeline over
+/// circuits that parse but are electrically unsound.
 ParseResult parse_collect(std::string_view text,
-                          const std::string& filename = "");
+                          const std::string& filename = "",
+                          bool validate = true);
 
 /// File variant of parse_collect; an unreadable file yields a single
 /// ParseError-coded diagnostic rather than throwing.
-ParseResult parse_file_collect(const std::string& path);
+ParseResult parse_file_collect(const std::string& path,
+                               bool validate = true);
 
 /// Parse one engineering-notation value ("2.2k", "10p", "1meg", "4.7").
 /// Throws std::invalid_argument on malformed input.

@@ -7,6 +7,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "check/lint.h"
 #include "core/fault.h"
 #include "core/parallel.h"
 #include "obs/trace.h"
@@ -105,6 +106,9 @@ struct StageOutcome {
   std::shared_ptr<const mna::Solver> solver;  // set when capturing
   bool used_gmin = false;
   core::Diagnostics factor_diags;
+  /// Freshly computed pre-flight lint report, published (like the
+  /// solver) for the serial post-pass to cache under the content key.
+  std::shared_ptr<const check::LintReport> lint;
 };
 
 // Last-resort stage estimate when the AWE evaluation itself is dead
@@ -178,7 +182,8 @@ StageOutcome evaluate_stage(const Gate& driver, const Net& net,
                             const AnalysisOptions& options, double t_in,
                             double in_slew,
                             const detail::CachedFactorization* adopt,
-                            bool capture_factorization) {
+                            bool capture_factorization,
+                            std::shared_ptr<const check::LintReport> lint_pre) {
   AWESIM_TRACE_SPAN("timing.stage");
   StageOutcome outcome;
   StageTiming& st = outcome.timing;
@@ -194,6 +199,49 @@ StageOutcome evaluate_stage(const Gate& driver, const Net& net,
 
   StageCircuit sc = build_stage(driver, net, gates, options.swing,
                                 in_slew);
+
+  // Pre-flight lint: the stage circuit is checked structurally before
+  // any matrix is assembled.  Errors short-circuit to the Elmore bound
+  // with the lint records naming the offending elements -- previously
+  // the same stage died inside the LU and the report said only
+  // "singular system".  Warnings never change the timing numbers.
+  std::size_t lint_errors = 0;
+  std::size_t lint_warnings = 0;
+  std::shared_ptr<const check::LintReport> lint;
+  if (options.preflight_lint) {
+    if (lint_pre != nullptr) {
+      lint = std::move(lint_pre);
+    } else {
+      check::LintOptions lint_options;
+      lint_options.classify_note = false;
+      lint = std::make_shared<const check::LintReport>(
+          check::lint(sc.ckt, lint_options));
+      if (capture_factorization) outcome.lint = lint;
+    }
+    lint_errors = lint->errors;
+    lint_warnings = lint->warnings;
+    if (!lint->ok()) {
+      const core::Diagnostic* first_error = nullptr;
+      core::Diagnostics lint_records;
+      for (const auto& d : lint->diagnostics) {
+        if (d.severity >= core::Severity::Error) {
+          if (first_error == nullptr) first_error = &d;
+          lint_records.push_back(d);
+        }
+      }
+      StageOutcome fallback = elmore_bound_stage(
+          driver, net, gates, options, t_in, in_slew,
+          "pre-flight lint: " + first_error->to_string());
+      fallback.timing.diagnostics.insert(
+          fallback.timing.diagnostics.begin(), lint_records.begin(),
+          lint_records.end());
+      fallback.stats.lint_errors = lint_errors;
+      fallback.stats.lint_warnings = lint_warnings;
+      fallback.lint = std::move(outcome.lint);
+      return fallback;
+    }
+  }
+
   core::Engine engine(sc.ckt);
   if (adopt != nullptr) {
     // A content-identical circuit already factored G in this session:
@@ -208,6 +256,9 @@ StageOutcome evaluate_stage(const Gate& driver, const Net& net,
   eopt.auto_order = true;
   eopt.error_tolerance = 0.01;
   eopt.max_order = std::max(options.order + 2, 6);
+  // The analyzer owns the stage pre-flight (above, cached under a
+  // Session); never double-lint inside the engine.
+  eopt.preflight_lint = false;
 
   // Sink order: sc.sink_nodes is a std::map, so sinks come out sorted
   // by name -- part of the determinism contract.
@@ -264,8 +315,13 @@ StageOutcome evaluate_stage(const Gate& driver, const Net& net,
     sink_t.arrival = t_in + sink_t.stage_delay;
     st.sinks.push_back(std::move(sink_t));
   }
+  const std::shared_ptr<const check::LintReport> fresh_lint =
+      std::move(outcome.lint);
   outcome.stats = batch.stats;
   outcome.stats.stages = 1;
+  outcome.stats.lint_errors += lint_errors;
+  outcome.stats.lint_warnings += lint_warnings;
+  outcome.lint = fresh_lint;
   if (capture_factorization && adopt == nullptr) {
     // Publish this circuit's G factorization (and its factor-time
     // observables) for the post-pass to cache under the content key.
@@ -397,6 +453,7 @@ TimingReport analyze_design(const Design& design,
     std::vector<std::string> result_keys;
     std::vector<std::string> content_keys;
     std::vector<std::shared_ptr<const CachedFactorization>> adopt;
+    std::vector<std::shared_ptr<const check::LintReport>> lint_pre;
     std::vector<core::Diagnostics> invalidation_diags;
 
     if (cache != nullptr) {
@@ -408,6 +465,7 @@ TimingReport analyze_design(const Design& design,
       result_keys.resize(jobs.size());
       content_keys.resize(jobs.size());
       adopt.resize(jobs.size());
+      lint_pre.resize(jobs.size());
       invalidation_diags.resize(jobs.size());
       for (std::size_t i = 0; i < jobs.size(); ++i) {
         const StageJob& job = jobs[i];
@@ -435,6 +493,9 @@ TimingReport analyze_design(const Design& design,
           content_keys[i] = stage_content_key(*job.driver, job.net->net,
                                               gates);
           adopt[i] = cache->lookup_factorization(content_keys[i]);
+          if (options.preflight_lint) {
+            lint_pre[i] = cache->lookup_lint(content_keys[i]);
+          }
         }
       }
     }
@@ -458,7 +519,8 @@ TimingReport analyze_design(const Design& design,
         outcomes[i] = evaluate_stage(
             *job.driver, job.net->net, gates, options, job.t_in,
             job.in_slew, cache != nullptr ? adopt[i].get() : nullptr,
-            cache != nullptr);
+            cache != nullptr,
+            cache != nullptr ? lint_pre[i] : nullptr);
       } catch (const std::exception& e) {
         outcomes[i] =
             elmore_bound_stage(*job.driver, job.net->net, gates, options,
@@ -478,6 +540,12 @@ TimingReport analyze_design(const Design& design,
           outcome.stats.cache_hits += 1;  // the LU content-key lookup
         } else {
           outcome.stats.cache_misses += 1;
+        }
+        if (outcome.lint) {
+          // A lint report is a pure function of the circuit content, so
+          // it is cached even for stages that lint-failed: warm re-runs
+          // of a broken stage skip straight to the Elmore fallback.
+          cache->insert_lint(content_keys[i], outcome.lint);
         }
         if (!outcome.timing.failed) {
           // Store the pure evaluation result in stage-relative form
@@ -503,6 +571,7 @@ TimingReport analyze_design(const Design& design,
         }
       }
       outcome.solver.reset();
+      outcome.lint.reset();
 
       report.awe_stats += outcome.stats;
       StageTiming& st = outcome.timing;

@@ -83,6 +83,22 @@ struct AnalysisOptions {
   /// 0 uses one thread per hardware core.  The report is bit-identical
   /// for every value (levelized wavefronts, fixed reduction order).
   int threads = 0;
+
+  /// Run the src/check static lint pipeline over every stage circuit
+  /// before handing it to the AWE engine.  A stage whose lint finds
+  /// Error-severity problems (a voltage-source/inductor loop, a current
+  /// source with no DC return path, nonphysical element values) never
+  /// enters the engine: it degrades straight to the analytic Elmore
+  /// bound, and its StageFailed diagnostic plus the lint records name
+  /// the offending elements instead of a bare singular-matrix error.
+  /// Warnings never change the timing numbers; they are tallied into
+  /// Stats::lint_warnings only.  Under a Session, lint reports are
+  /// cached by circuit content alongside the LU factorizations.
+  ///
+  /// The documented escape hatch: set false to skip the pre-flight and
+  /// feed stages to the engine raw (benches measuring bare evaluation
+  /// cost, or deliberately pathological what-if experiments).
+  bool preflight_lint = true;
 };
 
 struct SinkTiming {

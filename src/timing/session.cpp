@@ -158,10 +158,13 @@ Session::CacheStats Session::cache_stats() const {
   CacheStats stats;
   stats.stage_entries = cache_->stage_entries();
   stats.factorization_entries = cache_->factorization_entries();
+  stats.lint_entries = cache_->lint_entries();
   stats.hits = c.hits;
   stats.misses = c.misses;
   stats.invalidations = c.invalidations;
   stats.evictions = c.evictions;
+  stats.lint_hits = c.lint_hits;
+  stats.lint_misses = c.lint_misses;
   return stats;
 }
 

@@ -113,10 +113,15 @@ class Session {
   struct CacheStats {
     std::size_t stage_entries = 0;
     std::size_t factorization_entries = 0;
+    std::size_t lint_entries = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t invalidations = 0;
     std::uint64_t evictions = 0;
+    /// Pre-flight lint lookups (content-keyed, counted apart from
+    /// hits/misses; see StageCache::Counters).
+    std::uint64_t lint_hits = 0;
+    std::uint64_t lint_misses = 0;
   };
   CacheStats cache_stats() const;
 

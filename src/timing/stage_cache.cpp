@@ -113,7 +113,11 @@ std::string stage_result_key(const Gate& driver, const Net& net,
       .number(options.slew_low_fraction)
       .number(options.slew_high_fraction)
       .integer(static_cast<std::uint64_t>(options.order))
-      .number(in_slew);
+      .number(in_slew)
+      // The pre-flight toggle changes what a lint-rejected stage answers
+      // with (raw evaluation vs the Elmore fallback), so a result cached
+      // under one setting must not serve the other.
+      .tag(options.preflight_lint ? 'l' : '-');
   return kb.take();
 }
 
@@ -188,6 +192,31 @@ void StageCache::insert_factorization(const std::string& key,
   evict_factors_locked();
 }
 
+std::shared_ptr<const check::LintReport> StageCache::lookup_lint(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = lints_.find(key);
+  if (it == lints_.end()) {
+    ++counters_.lint_misses;
+    return nullptr;
+  }
+  ++counters_.lint_hits;
+  return it->second.report;
+}
+
+void StageCache::insert_lint(const std::string& key,
+                             std::shared_ptr<const check::LintReport> report) {
+  if (report == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (lints_.count(key) > 0) return;
+  LintEntry entry;
+  entry.report = std::move(report);
+  entry.sequence = next_sequence_++;
+  lint_order_.emplace_back(entry.sequence, key);
+  lints_.emplace(key, std::move(entry));
+  evict_lints_locked();
+}
+
 void StageCache::evict_stages_locked() {
   while (stages_.size() > limits_.max_stage_entries &&
          !stage_order_.empty()) {
@@ -214,6 +243,17 @@ void StageCache::evict_factors_locked() {
   }
 }
 
+void StageCache::evict_lints_locked() {
+  while (lints_.size() > limits_.max_lint_entries && !lint_order_.empty()) {
+    const auto [seq, key] = lint_order_.front();
+    lint_order_.pop_front();
+    const auto it = lints_.find(key);
+    if (it == lints_.end() || it->second.sequence != seq) continue;
+    lints_.erase(it);
+    ++counters_.evictions;
+  }
+}
+
 StageCache::Counters StageCache::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;
@@ -229,12 +269,19 @@ std::size_t StageCache::factorization_entries() const {
   return factors_.size();
 }
 
+std::size_t StageCache::lint_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lints_.size();
+}
+
 void StageCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   stages_.clear();
   factors_.clear();
+  lints_.clear();
   stage_order_.clear();
   factor_order_.clear();
+  lint_order_.clear();
   counters_ = {};
   next_sequence_ = 0;
 }

@@ -54,6 +54,7 @@
 #include <string>
 #include <string_view>
 
+#include "check/lint.h"
 #include "core/diagnostic.h"
 #include "mna/system.h"
 #include "timing/analyzer.h"
@@ -116,6 +117,8 @@ class StageCache {
     /// memory hog (a dense factor is O(n^2)), hence the asymmetry.
     std::size_t max_stage_entries = 4096;
     std::size_t max_factorizations = 16;
+    /// Pre-flight lint reports are a handful of diagnostics each.
+    std::size_t max_lint_entries = 4096;
   };
 
   /// Cumulative lifetime counters (never reset by analyze calls;
@@ -127,6 +130,11 @@ class StageCache {
     std::uint64_t misses = 0;
     std::uint64_t invalidations = 0;
     std::uint64_t evictions = 0;
+    /// Pre-flight lint lookups, counted apart from hits/misses so the
+    /// existing stage/LU accounting (and the tests pinning it) stays
+    /// byte-for-byte what it was before the lint cache existed.
+    std::uint64_t lint_hits = 0;
+    std::uint64_t lint_misses = 0;
   };
 
   explicit StageCache(Limits limits) : limits_(limits) {}
@@ -149,9 +157,21 @@ class StageCache {
   void insert_factorization(const std::string& key,
                             CachedFactorization factor);
 
+  /// Pre-flight lint reports, keyed by the circuit-content key: the
+  /// lint outcome is a pure function of the stage circuit's content, so
+  /// it shares the factorization key space.  No checksum defense here --
+  /// a lint report only gates *whether* a stage evaluates, and a stale
+  /// entry cannot exist (content addressing); the fault-injection drill
+  /// covers the stage records that actually carry timing.
+  std::shared_ptr<const check::LintReport> lookup_lint(
+      const std::string& key);
+  void insert_lint(const std::string& key,
+                   std::shared_ptr<const check::LintReport> report);
+
   Counters counters() const;
   std::size_t stage_entries() const;
   std::size_t factorization_entries() const;
+  std::size_t lint_entries() const;
   void clear();
 
  private:
@@ -164,18 +184,25 @@ class StageCache {
     std::shared_ptr<const CachedFactorization> factor;
     std::uint64_t sequence = 0;
   };
+  struct LintEntry {
+    std::shared_ptr<const check::LintReport> report;
+    std::uint64_t sequence = 0;
+  };
 
   void evict_stages_locked();
   void evict_factors_locked();
+  void evict_lints_locked();
 
   Limits limits_;
   mutable std::mutex mutex_;
   std::map<std::string, StageEntry> stages_;
   std::map<std::string, FactorEntry> factors_;
+  std::map<std::string, LintEntry> lints_;
   // FIFO queues of (sequence, key); a queued key is only evicted while
   // its sequence still matches the live entry (re-inserted keys requeue).
   std::deque<std::pair<std::uint64_t, std::string>> stage_order_;
   std::deque<std::pair<std::uint64_t, std::string>> factor_order_;
+  std::deque<std::pair<std::uint64_t, std::string>> lint_order_;
   Counters counters_;
   std::uint64_t next_sequence_ = 0;
 };
