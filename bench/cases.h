@@ -19,6 +19,10 @@ void register_scaling_cases();
 /// against cold per-point Design::analyze.
 void register_sweep_cases();
 
+/// The timing-graph path queries: K-worst enumeration determinism and
+/// throughput.
+void register_paths_cases();
+
 /// Idempotent: registers every case exactly once.
 inline void ensure_all_registered() {
   static std::once_flag once;
@@ -26,6 +30,7 @@ inline void ensure_all_registered() {
     register_figure_cases();
     register_scaling_cases();
     register_sweep_cases();
+    register_paths_cases();
   });
 }
 

@@ -6,13 +6,24 @@
 // With --json, emits the whole report as one machine-readable JSON
 // document instead (report + AWE cost counters + phase-time breakdown;
 // tracing is force-enabled so the breakdown is populated).
+//
+// Slack and path queries (the timing/graph.h + timing/paths.h layer):
+//   --required=T     required arrival time in seconds at every endpoint
+//                    (default: floats to the latest arrival, slack >= 0)
+//   --paths=K        also report the K worst paths, worst first
+//   --through=NAME   keep only paths visiting gate/port NAME (repeatable)
+//   --model=NAME     delay kernel: awe (default), elmore, two_pole, table
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "timing/analyzer.h"
+#include "timing/graph.h"
+#include "timing/paths.h"
 
 using namespace awesim;
 using timing::Design;
@@ -29,11 +40,43 @@ NetElement c(const std::string& a, double v) {
   return {NetElement::Kind::Capacitor, a, "0", v};
 }
 
-obs::json::Value report_json(const timing::TimingReport& report) {
+obs::json::Value paths_json(const timing::PathsResult& result) {
+  using obs::json::Value;
+  Value doc = Value::object();
+  doc.set("truncated", result.truncated);
+  doc.set("expansions", static_cast<double>(result.expansions));
+  Value paths = Value::array();
+  for (const auto& p : result.paths) {
+    Value v = Value::object();
+    v.set("source", p.source);
+    v.set("endpoint", p.endpoint);
+    v.set("arrival", p.arrival);
+    v.set("slack", p.slack);
+    v.set("degraded", p.degraded);
+    v.set("failed", p.failed);
+    Value points = Value::array();
+    for (const auto& pt : p.points) {
+      Value q = Value::object();
+      q.set("pin", pt.pin);
+      q.set("arrival", pt.arrival);
+      q.set("delay", pt.delay);
+      if (!pt.net.empty()) q.set("net", pt.net);
+      points.push_back(std::move(q));
+    }
+    v.set("points", std::move(points));
+    paths.push_back(std::move(v));
+  }
+  doc.set("paths", std::move(paths));
+  return doc;
+}
+
+obs::json::Value report_json(const timing::TimingReport& report,
+                             const timing::AnalysisOptions& opt) {
   using obs::json::Value;
   Value doc = Value::object();
   doc.set("schema", "awesim-timing-report");
-  doc.set("schema_version", 1);
+  doc.set("schema_version", 2);
+  doc.set("delay_model", timing::to_string(opt.delay_model));
   doc.set("critical_delay", report.critical_delay);
   Value path = Value::array();
   for (const auto& g : report.critical_path) path.push_back(g);
@@ -41,10 +84,20 @@ obs::json::Value report_json(const timing::TimingReport& report) {
   doc.set("levels", static_cast<double>(report.levels));
   doc.set("degraded_stages", static_cast<double>(report.degraded_stages));
   doc.set("failed_stages", static_cast<double>(report.failed_stages));
+  doc.set("worst_slack", report.worst_slack);
+  doc.set("worst_slack_endpoint", report.worst_slack_endpoint);
 
   Value arrivals = Value::object();
   for (const auto& [gate, t] : report.gate_arrival) arrivals.set(gate, t);
   doc.set("gate_arrival", std::move(arrivals));
+
+  Value slacks = Value::object();
+  for (const auto& [gate, s] : report.gate_slack) slacks.set(gate, s);
+  doc.set("gate_slack", std::move(slacks));
+
+  Value sources = Value::array();
+  for (const auto& g : report.source_gates) sources.push_back(g);
+  doc.set("source_gates", std::move(sources));
 
   Value stages = Value::array();
   for (const auto& st : report.stages) {
@@ -105,11 +158,40 @@ obs::json::Value report_json(const timing::TimingReport& report) {
 
 int main(int argc, char** argv) {
   bool emit_json = false;
+  std::size_t k_paths = 0;
+  timing::AnalysisOptions opt;
+  timing::PathQuery query;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
       emit_json = true;
+    } else if (arg.rfind("--paths=", 0) == 0) {
+      k_paths = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 8, nullptr, 10));
+    } else if (arg.rfind("--required=", 0) == 0) {
+      opt.required_time = std::strtod(arg.c_str() + 11, nullptr);
+    } else if (arg.rfind("--through=", 0) == 0) {
+      query.through.push_back(arg.substr(10));
+    } else if (arg.rfind("--model=", 0) == 0) {
+      const std::string name = arg.substr(8);
+      if (name == "awe") {
+        opt.delay_model = timing::DelayModelKind::Awe;
+      } else if (name == "elmore") {
+        opt.delay_model = timing::DelayModelKind::ElmoreBound;
+      } else if (name == "two_pole") {
+        opt.delay_model = timing::DelayModelKind::TwoPole;
+      } else if (name == "table") {
+        opt.delay_model = timing::DelayModelKind::TableLookup;
+      } else {
+        std::fprintf(stderr, "unknown --model '%s' (awe|elmore|two_pole|table)\n",
+                     name.c_str());
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--json]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--paths=K] [--required=T]"
+                   " [--through=NAME]... [--model=NAME]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -161,14 +243,24 @@ int main(int argc, char** argv) {
   }
   d.set_primary_input("in_buf");
 
-  timing::AnalysisOptions opt;
   opt.swing = 5.0;
   opt.input_slew = 0.08e-9;
   const auto report = d.analyze(opt);
 
+  timing::PathsResult paths;
+  if (k_paths > 0) {
+    timing::GraphOptions gopt;
+    gopt.required_time = opt.required_time;
+    const timing::TimingGraph graph = timing::TimingGraph::build(report, gopt);
+    query.k = k_paths;
+    paths = timing::k_worst_paths(graph, query);
+  }
+
   if (emit_json) {
     // Pure JSON on stdout: pipeable straight into jq or a dashboard.
-    std::printf("%s\n", report_json(report).dump(2).c_str());
+    obs::json::Value doc = report_json(report, opt);
+    if (k_paths > 0) doc.set("worst_paths", paths_json(paths));
+    std::printf("%s\n", doc.dump(2).c_str());
     return 0;
   }
 
@@ -195,5 +287,28 @@ int main(int argc, char** argv) {
     std::printf("%s%s", i ? " -> " : "", report.critical_path[i].c_str());
   }
   std::printf("\n");
+
+  std::printf("\nslack (worst %.4e s at %s):\n", report.worst_slack,
+              report.worst_slack_endpoint.c_str());
+  for (const auto& [gate, s] : report.gate_slack) {
+    std::printf("  %-16s %12.4e s\n", gate.c_str(), s);
+  }
+
+  if (k_paths > 0) {
+    std::printf("\n%zu worst path%s%s:\n", paths.paths.size(),
+                paths.paths.size() == 1 ? "" : "s",
+                paths.truncated ? " (truncated by expansion cap)" : "");
+    for (std::size_t i = 0; i < paths.paths.size(); ++i) {
+      const timing::Path& p = paths.paths[i];
+      std::printf("  #%zu  slack %12.4e s  arrival %12.4e s%s\n", i + 1,
+                  p.slack, p.arrival,
+                  p.degraded ? "  [degraded]" : "");
+      std::printf("      ");
+      for (std::size_t j = 0; j < p.points.size(); ++j) {
+        std::printf("%s%s", j ? " -> " : "", p.points[j].pin.c_str());
+      }
+      std::printf("\n");
+    }
+  }
   return 0;
 }

@@ -11,6 +11,8 @@
 #include "core/fault.h"
 #include "core/parallel.h"
 #include "obs/trace.h"
+#include "timing/delay_model.h"
+#include "timing/graph.h"
 #include "timing/stage_cache.h"
 
 namespace awesim::timing {
@@ -42,294 +44,37 @@ void Design::set_primary_input(const std::string& gate) {
 
 namespace {
 
-// Build the stage circuit for one net: ramp source -> driver resistance ->
-// parasitics -> sink input capacitances.  Returns the circuit and the
-// circuit nodes of the driver point and each sink point.
-struct StageCircuit {
-  circuit::Circuit ckt;
-  circuit::NodeId driver_node;
-  std::map<std::string, circuit::NodeId> sink_nodes;
-};
-
-StageCircuit build_stage(const Gate& driver, const Net& net,
-                         const std::map<std::string, Gate>& gates,
-                         double swing, double slew) {
-  StageCircuit sc;
-  auto& ckt = sc.ckt;
-  const auto vin = ckt.node("__in");
-  ckt.add_vsource("Vdrv", vin, circuit::kGround,
-                  slew > 0.0
-                      ? circuit::Stimulus::ramp_step(0.0, swing, slew)
-                      : circuit::Stimulus::step(0.0, swing));
-  const auto drv = ckt.node("DRV");
-  ckt.add_resistor("__Rdrv", vin, drv, driver.drive_resistance);
-  sc.driver_node = drv;
-
-  std::size_t counter = 0;
-  for (const auto& e : net.parasitics) {
-    const auto a = ckt.node(e.node_a);
-    const auto b = ckt.node(e.node_b);
-    const std::string name = "__p" + std::to_string(counter++);
-    switch (e.kind) {
-      case NetElement::Kind::Resistor:
-        ckt.add_resistor(name, a, b, e.value);
-        break;
-      case NetElement::Kind::Capacitor:
-        ckt.add_capacitor(name, a, b, e.value);
-        break;
-      case NetElement::Kind::Inductor:
-        ckt.add_inductor(name, a, b, e.value);
-        break;
-    }
-  }
-  for (const auto& [sink, node_name] : net.sink_node) {
-    const auto node = ckt.node(node_name);
-    sc.sink_nodes[sink] = node;
-    const auto it = gates.find(sink);
-    if (it != gates.end() && it->second.input_capacitance > 0.0) {
-      ckt.add_capacitor("__cin_" + sink, node, circuit::kGround,
-                        it->second.input_capacitance);
-    }
-  }
-  return sc;
-}
-
-// One stage evaluated in isolation: everything here is thread-local
-// (the stage circuit, MNA system, and engine are built fresh), so
-// stages of one wavefront can run concurrently.  When a Session cache
-// is attached, the outcome also carries the circuit's G factorization
-// handle so the serial post-pass can publish it for content-identical
-// re-analyses.
-struct StageOutcome {
-  StageTiming timing;
-  core::Stats stats;
-  std::shared_ptr<const mna::Solver> solver;  // set when capturing
-  bool used_gmin = false;
-  core::Diagnostics factor_diags;
-  /// Freshly computed pre-flight lint report, published (like the
-  /// solver) for the serial post-pass to cache under the content key.
-  std::shared_ptr<const check::LintReport> lint;
-};
-
-// Last-resort stage estimate when the AWE evaluation itself is dead
-// (singular MNA, injected fault, anything thrown): the lumped Elmore
-// bound tau = (Rdrv + sum R) * (sum C), pessimistic by construction,
-// computed straight from the net description without any linear solve.
-// Keeps the wavefront moving: downstream stages see finite, reproducible
-// arrivals and the report carries a StageFailed diagnostic.
-StageOutcome elmore_bound_stage(const Gate& driver, const Net& net,
-                                const std::map<std::string, Gate>& gates,
-                                const AnalysisOptions& /*options*/,
-                                double t_in, double in_slew,
-                                const std::string& reason) {
-  StageOutcome outcome;
-  StageTiming& st = outcome.timing;
-  st.driver_gate = driver.name;
-  st.net = net.name;
-  st.input_arrival = t_in;
-  st.degraded = true;
-  st.failed = true;
-
-  double r_total = driver.drive_resistance;
-  double c_total = 0.0;
-  for (const auto& e : net.parasitics) {
-    if (e.kind == NetElement::Kind::Resistor &&
-        std::isfinite(e.value)) {
-      r_total += std::abs(e.value);
-    } else if (e.kind == NetElement::Kind::Capacitor &&
-               std::isfinite(e.value)) {
-      c_total += std::abs(e.value);
-    }
-  }
-  for (const auto& [sink, node_name] : net.sink_node) {
-    const auto it = gates.find(sink);
-    if (it != gates.end() && it->second.input_capacitance > 0.0) {
-      c_total += it->second.input_capacitance;
-    }
-  }
-  const double tau = r_total * c_total;
-  // Single-pole response: 50% crossing at ln 2 * tau, 20-80% rise over
-  // ln 4 * tau; half the input slew stands in for the ramp delay.
-  const double delay =
-      driver.intrinsic_delay + std::log(2.0) * tau + 0.5 * in_slew;
-  const double out_slew = std::max(std::log(4.0) * tau, in_slew);
-  for (const auto& [sink, node_name] : net.sink_node) {
-    SinkTiming sink_t;
-    sink_t.gate = sink;
-    sink_t.stage_delay = delay;
-    sink_t.slew = out_slew;
-    sink_t.arrival = t_in + delay;
-    st.sinks.push_back(std::move(sink_t));
-  }
-
-  core::Diagnostic d;
-  d.code = core::DiagCode::StageFailed;
-  d.severity = core::Severity::Error;
-  d.message = "stage evaluation failed (" + reason +
-              "); substituted the lumped Elmore bound tau=" +
-              std::to_string(tau) + "s";
-  d.element = net.name;
-  d.node = driver.name;
-  st.diagnostics.push_back(std::move(d));
-
-  outcome.stats.stages = 1;
-  outcome.stats.failures = 1;
-  return outcome;
-}
-
-StageOutcome evaluate_stage(const Gate& driver, const Net& net,
-                            const std::map<std::string, Gate>& gates,
-                            const AnalysisOptions& options, double t_in,
-                            double in_slew,
-                            const detail::CachedFactorization* adopt,
-                            bool capture_factorization,
-                            std::shared_ptr<const check::LintReport> lint_pre) {
+// One stage evaluated in isolation through the pluggable delay-model
+// seam (timing/delay_model.h): everything model-side is thread-local,
+// so stages of one wavefront can run concurrently.  The analyzer keeps
+// only the cross-cutting concerns here -- the trace span and the
+// deterministic fault probe -- and the selected model does the physics.
+// When a Session cache is attached, engine-backed models also hand back
+// the circuit's G factorization so the serial post-pass can publish it
+// for content-identical re-analyses.
+StageEvaluation evaluate_stage(
+    const Gate& driver, const Net& net,
+    const std::map<std::string, Gate>& gates,
+    const AnalysisOptions& options, double t_in, double in_slew,
+    const detail::CachedFactorization* adopt, bool capture_factorization,
+    std::shared_ptr<const check::LintReport> lint_pre) {
   AWESIM_TRACE_SPAN("timing.stage");
-  StageOutcome outcome;
-  StageTiming& st = outcome.timing;
-  st.driver_gate = driver.name;
-  st.net = net.name;
-  st.input_arrival = t_in;
-
   if (core::fault_at("timing.stage", net.name)) {
     throw core::DiagnosticError(
         {core::DiagCode::InjectedFault, core::Severity::Error,
          "injected stage evaluation fault", net.name});
   }
-
-  StageCircuit sc = build_stage(driver, net, gates, options.swing,
-                                in_slew);
-
-  // Pre-flight lint: the stage circuit is checked structurally before
-  // any matrix is assembled.  Errors short-circuit to the Elmore bound
-  // with the lint records naming the offending elements -- previously
-  // the same stage died inside the LU and the report said only
-  // "singular system".  Warnings never change the timing numbers.
-  std::size_t lint_errors = 0;
-  std::size_t lint_warnings = 0;
-  std::shared_ptr<const check::LintReport> lint;
-  if (options.preflight_lint) {
-    if (lint_pre != nullptr) {
-      lint = std::move(lint_pre);
-    } else {
-      check::LintOptions lint_options;
-      lint_options.classify_note = false;
-      lint = std::make_shared<const check::LintReport>(
-          check::lint(sc.ckt, lint_options));
-      if (capture_factorization) outcome.lint = lint;
-    }
-    lint_errors = lint->errors;
-    lint_warnings = lint->warnings;
-    if (!lint->ok()) {
-      const core::Diagnostic* first_error = nullptr;
-      core::Diagnostics lint_records;
-      for (const auto& d : lint->diagnostics) {
-        if (d.severity >= core::Severity::Error) {
-          if (first_error == nullptr) first_error = &d;
-          lint_records.push_back(d);
-        }
-      }
-      StageOutcome fallback = elmore_bound_stage(
-          driver, net, gates, options, t_in, in_slew,
-          "pre-flight lint: " + first_error->to_string());
-      fallback.timing.diagnostics.insert(
-          fallback.timing.diagnostics.begin(), lint_records.begin(),
-          lint_records.end());
-      fallback.stats.lint_errors = lint_errors;
-      fallback.stats.lint_warnings = lint_warnings;
-      fallback.lint = std::move(outcome.lint);
-      return fallback;
-    }
-  }
-
-  core::Engine engine(sc.ckt);
-  if (adopt != nullptr) {
-    // A content-identical circuit already factored G in this session:
-    // share the LU and replay its factor-time observables (gmin flag,
-    // diagnostics) so every Result is bitwise what a fresh factorization
-    // would have produced; only the LU work is skipped.
-    engine.system().adopt_g_solver(adopt->solver, adopt->used_gmin,
-                                   adopt->diagnostics);
-  }
-  core::EngineOptions eopt;
-  eopt.order = options.order;
-  eopt.auto_order = true;
-  eopt.error_tolerance = 0.01;
-  eopt.max_order = std::max(options.order + 2, 6);
-  // The analyzer owns the stage pre-flight (above, cached under a
-  // Session); never double-lint inside the engine.
-  eopt.preflight_lint = false;
-
-  // Sink order: sc.sink_nodes is a std::map, so sinks come out sorted
-  // by name -- part of the determinism contract.
-  std::vector<std::string> sink_names;
-  std::vector<circuit::NodeId> sink_nodes;
-  sink_names.reserve(sc.sink_nodes.size());
-  sink_nodes.reserve(sc.sink_nodes.size());
-  for (const auto& [sink, node] : sc.sink_nodes) {
-    sink_names.push_back(sink);
-    sink_nodes.push_back(node);
-  }
-
-  // One batch solve for the whole net: the LU factorization and moment
-  // vectors are shared; each sink costs only its moment match.
-  const core::BatchResult batch = engine.approximate_all(sink_nodes, eopt);
-  for (std::size_t i = 0; i < sink_names.size(); ++i) {
-    const core::Result& result = batch.results[i];
-    st.awe_order_used = std::max(st.awe_order_used, result.order_used);
-    if (result.status >= core::ApproxStatus::OrderReduced) {
-      // The engine walked its degradation ladder for this sink: the
-      // timing numbers below come from a below-requested-quality model.
-      st.degraded = true;
-      core::Diagnostic d;
-      d.code = core::DiagCode::StageDegraded;
-      d.severity = core::Severity::Warning;
-      d.message = std::string("sink answered from ladder rung '") +
-                  core::to_string(result.status) + "'";
-      d.element = net.name;
-      d.node = sink_names[i];
-      st.diagnostics.push_back(std::move(d));
-    }
-    for (const auto& rd : result.diagnostics) {
-      if (rd.severity >= core::Severity::Warning) {
-        st.diagnostics.push_back(rd);
-      }
-    }
-    // Horizon: generous multiple of the slowest time constant plus the
-    // input slew.
-    const double tau = result.approximation.dominant_time_constant();
-    const double horizon = 12.0 * tau + 3.0 * in_slew + 1e-15;
-    const double v_th = options.swing * options.delay_threshold_fraction;
-    const double v_lo = options.swing * options.slew_low_fraction;
-    const double v_hi = options.swing * options.slew_high_fraction;
-    const auto t_th =
-        result.approximation.first_crossing(v_th, 0.0, horizon);
-    const auto t_lo =
-        result.approximation.first_crossing(v_lo, 0.0, horizon);
-    const auto t_hi =
-        result.approximation.first_crossing(v_hi, 0.0, horizon);
-    SinkTiming sink_t;
-    sink_t.gate = sink_names[i];
-    sink_t.stage_delay = driver.intrinsic_delay + t_th.value_or(horizon);
-    sink_t.slew = (t_hi && t_lo) ? *t_hi - *t_lo : horizon;
-    sink_t.arrival = t_in + sink_t.stage_delay;
-    st.sinks.push_back(std::move(sink_t));
-  }
-  const std::shared_ptr<const check::LintReport> fresh_lint =
-      std::move(outcome.lint);
-  outcome.stats = batch.stats;
-  outcome.stats.stages = 1;
-  outcome.stats.lint_errors += lint_errors;
-  outcome.stats.lint_warnings += lint_warnings;
-  outcome.lint = fresh_lint;
-  if (capture_factorization && adopt == nullptr) {
-    // Publish this circuit's G factorization (and its factor-time
-    // observables) for the post-pass to cache under the content key.
-    outcome.solver = engine.system().shared_g_solver();
-    outcome.used_gmin = engine.system().used_gmin();
-    outcome.factor_diags = engine.system().diagnostics();
-  }
-  return outcome;
+  StageProblem problem;
+  problem.driver = &driver;
+  problem.net = &net;
+  problem.gates = &gates;
+  problem.options = &options;
+  problem.input_arrival = t_in;
+  problem.input_slew = in_slew;
+  problem.adopt = adopt;
+  problem.capture_factorization = capture_factorization;
+  problem.lint_pre = std::move(lint_pre);
+  return delay_model(options.delay_model).evaluate(problem);
 }
 
 }  // namespace
@@ -418,6 +163,16 @@ TimingReport analyze_design(const Design& design,
 
   TimingReport report;
   report.levels = waves.size();
+  // Wave 0 is the graph's source set: these pins are pinned to t = 0
+  // even if something feeds them (declared primary inputs).  Name-sorted
+  // already -- the frontier came out of a sorted map.
+  if (!waves.empty()) report.source_gates = waves.front();
+
+  // Engine-backed models (AWE, two-pole) want the LU/lint content-cache
+  // plumbing; arithmetic models (Elmore bound, table) never factor a
+  // matrix, so that plumbing -- and its hit/miss accounting -- is
+  // skipped for them.
+  const bool engine_model = delay_model(options.delay_model).uses_engine();
 
   struct StageJob {
     const Design::NetInstance* net = nullptr;
@@ -448,7 +203,7 @@ TimingReport analyze_design(const Design& design,
     }
     if (jobs.empty()) continue;
 
-    std::vector<StageOutcome> outcomes(jobs.size());
+    std::vector<StageEvaluation> outcomes(jobs.size());
     std::vector<char> served(jobs.size(), 0);
     std::vector<std::string> result_keys;
     std::vector<std::string> content_keys;
@@ -478,7 +233,7 @@ TimingReport analyze_design(const Design& design,
           // input arrival.  Cold evaluation computes arrival as
           // t_in + stage_delay with the same two operands, so the
           // replayed values are bitwise identical.
-          StageOutcome o;
+          StageEvaluation o;
           o.timing = std::move(*hit);
           o.timing.input_arrival = job.t_in;
           for (auto& s : o.timing.sinks) {
@@ -489,7 +244,7 @@ TimingReport analyze_design(const Design& design,
           o.stats.cache_hits = 1;
           outcomes[i] = std::move(o);
           served[i] = 1;
-        } else {
+        } else if (engine_model) {
           content_keys[i] = stage_content_key(*job.driver, job.net->net,
                                               gates);
           adopt[i] = cache->lookup_factorization(content_keys[i]);
@@ -522,9 +277,9 @@ TimingReport analyze_design(const Design& design,
             cache != nullptr,
             cache != nullptr ? lint_pre[i] : nullptr);
       } catch (const std::exception& e) {
-        outcomes[i] =
-            elmore_bound_stage(*job.driver, job.net->net, gates, options,
-                               job.t_in, job.in_slew, e.what());
+        outcomes[i] = detail::elmore_fallback_stage(
+            *job.driver, job.net->net, gates, job.t_in, job.in_slew,
+            e.what());
       }
     });
 
@@ -532,14 +287,16 @@ TimingReport analyze_design(const Design& design,
     // choices, stats sums, and cache insertions are identical for every
     // thread count.
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      StageOutcome& outcome = outcomes[i];
+      StageEvaluation& outcome = outcomes[i];
       if (cache != nullptr && !served[i]) {
         outcome.stats.stages_recomputed += 1;
         outcome.stats.cache_misses += 1;  // the stage-result lookup
-        if (adopt[i]) {
-          outcome.stats.cache_hits += 1;  // the LU content-key lookup
-        } else {
-          outcome.stats.cache_misses += 1;
+        if (engine_model) {
+          if (adopt[i]) {
+            outcome.stats.cache_hits += 1;  // the LU content-key lookup
+          } else {
+            outcome.stats.cache_misses += 1;
+          }
         }
         if (outcome.lint) {
           // A lint report is a pure function of the circuit content, so
@@ -627,6 +384,21 @@ TimingReport analyze_design(const Design& design,
     report.critical_delay = worst->second;
     trace_path(worst->first);
   }
+  // Backward pass: build the pin-level graph from the finished report
+  // and fold its slack view into the report.  The graph re-propagates
+  // arrivals from arc delays (it does not copy the map above), so this
+  // doubles as a built-in self-check; tests make it a bitwise one.
+  {
+    GraphOptions gopt;
+    gopt.required_time = options.required_time;
+    const TimingGraph graph = TimingGraph::build(report, gopt);
+    for (const auto& [gate, t] : report.gate_arrival) {
+      report.gate_slack[gate] = graph.slack_at(gate);
+    }
+    report.worst_slack = graph.worst_slack();
+    report.worst_slack_endpoint = graph.worst_endpoint();
+  }
+
   report.awe_stats.phases = obs::since(phases_before);
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

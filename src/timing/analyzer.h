@@ -30,6 +30,7 @@
 // identical for every thread count.
 #pragma once
 
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -66,6 +67,17 @@ struct Net {
   std::map<std::string, std::string> sink_node;  // sink gate -> node name
 };
 
+/// Which delay kernel answers each stage (see timing/delay_model.h for
+/// the model descriptions and the engine-backed vs arithmetic split).
+enum class DelayModelKind {
+  Awe = 0,      // full q-pole AWE with the degradation ladder (default)
+  ElmoreBound,  // lumped first-order bound, no linear solve
+  TwoPole,      // Penfield-Rubinstein-style fixed two-pole match
+  TableLookup,  // characterized normalized-ratio lookup table
+};
+
+const char* to_string(DelayModelKind kind);
+
 struct AnalysisOptions {
   /// Supply swing and measurement thresholds.
   double swing = 5.0;
@@ -99,6 +111,20 @@ struct AnalysisOptions {
   /// feed stages to the engine raw (benches measuring bare evaluation
   /// cost, or deliberately pathological what-if experiments).
   bool preflight_lint = true;
+
+  /// Which delay kernel evaluates each stage.  The default is the full
+  /// AWE engine -- bit-identical to the pre-seam analyzer.  The kind is
+  /// part of the stage-result cache key, so a Session can interleave
+  /// models without cross-talk.  Arithmetic models (ElmoreBound,
+  /// TableLookup) assemble no matrices and skip the pre-flight lint.
+  DelayModelKind delay_model = DelayModelKind::Awe;
+
+  /// Required arrival time at every endpoint, for the slack/RAT pass
+  /// (timing/graph.h).  NaN (the default) floats the requirement to the
+  /// latest endpoint arrival, so worst_slack == 0 and slacks rank
+  /// criticality relative to the critical path.  Set a clock period to
+  /// get real signed slacks (and meaningful what-if slack deltas).
+  double required_time = std::numeric_limits<double>::quiet_NaN();
 };
 
 struct SinkTiming {
@@ -136,6 +162,21 @@ struct TimingReport {
   /// Latest-arriving endpoint and the chain of gates leading to it.
   double critical_delay = 0.0;
   std::vector<std::string> critical_path;
+
+  /// Gates whose stage inputs switch at t = 0 (declared primary inputs
+  /// plus zero-fan-in gates) -- the wave-0 sources, name-sorted.  The
+  /// timing graph pins these to arrival 0 when it re-propagates.
+  std::vector<std::string> source_gates;
+
+  /// Slack at each gate input pin, from the backward required-arrival
+  /// pass over the timing graph (required per AnalysisOptions::
+  /// required_time; NaN floats it to the latest endpoint arrival).
+  std::map<std::string, double> gate_slack;
+
+  /// Minimum slack over all endpoints, and the endpoint holding it.
+  /// 0 by construction when required_time floats.
+  double worst_slack = 0.0;
+  std::string worst_slack_endpoint;
 
   /// Number of Kahn wavefronts the stage DAG levelized into.
   std::size_t levels = 0;

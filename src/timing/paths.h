@@ -1,0 +1,101 @@
+// K-worst path enumeration over the timing graph.
+//
+// Slack tells you *that* a design misses timing; paths tell you *why*.
+// This is the SFXT-style query layer: precompute, per pin, the best
+// possible completion to an allowed endpoint (the suffix value -- one
+// reverse-topological sweep), then run a best-first search over partial
+// paths whose priority is the exact final arrival (prefix arrival +
+// suffix).  Because the bound is exact, paths pop in worst-first order:
+// the K-th pop of a complete, filter-matching path is the K-th worst
+// path, no enumerate-then-sort.
+//
+// Filters (the from/through/to triple of a timing query):
+//   * from:    the path must start at a source pin owned by this gate;
+//   * to:      the path must end at an endpoint owned by this gate/port;
+//   * through: the path must visit every listed owner (up to 64).
+// from/to prune the search space exactly (suffix values are computed
+// against allowed endpoints only; unreachable pins get -inf and are
+// never expanded).  through-points prune via a reachability mask (a pin
+// survives only if, for every through-point, it can reach it or be
+// reached from it) and are enforced exactly at emission; max_expansions
+// bounds the search when filters are adversarial, and the result says
+// whether it hit.
+//
+// Slack convention: every endpoint carries the same required time (see
+// graph.h), so "worst slack" and "latest arrival" order identically;
+// Path::slack = required(endpoint) - Path::arrival can go negative when
+// a real clock constraint is set.
+//
+// Determinism: the enumeration is serial, the priority comparator
+// totally orders candidates (arrival, then lexicographic arc sequence),
+// and the graph it runs on is bit-identical across analyzer thread
+// counts -- so the K-worst list is too (tests/test_paths.cpp pins this).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "timing/graph.h"
+
+namespace awesim::timing {
+
+struct PathQuery {
+  /// How many worst paths to return.
+  std::size_t k = 1;
+  /// Source gate filter (empty = any source).
+  std::string from;
+  /// Endpoint owner filter (empty = any endpoint).
+  std::string to;
+  /// Owners the path must visit, all of them; at most 64.
+  std::vector<std::string> through;
+  /// Search cap: total candidate expansions before giving up (only
+  /// reachable with adversarial through-filters on dense graphs).
+  std::size_t max_expansions = 1u << 20;
+};
+
+struct PathPoint {
+  std::string pin;
+  /// Arrival along this path at this pin (sum of arc delays so far --
+  /// equals the node arrival only on the single worst path).
+  double arrival = 0.0;
+  /// Delay of the arc into this pin (0 for the path's first point).
+  double delay = 0.0;
+  /// Net carrying that arc; empty for gate arcs and the first point.
+  std::string net;
+};
+
+struct Path {
+  std::vector<PathPoint> points;
+  std::string source;    // owner of the first pin
+  std::string endpoint;  // owner of the last pin
+  double arrival = 0.0;  // path arrival at the endpoint
+  double slack = 0.0;    // required(endpoint) - arrival
+  /// Any arc on the path came from a degraded stage (order step-down,
+  /// Elmore fallback) -- the stage taint, propagated path-wide.
+  bool degraded = false;
+  /// Any arc came from a stage whose evaluation failed outright.
+  bool failed = false;
+  /// Arc indices into TimingGraph::arcs(), in path order (the identity
+  /// used for duplicate detection).
+  std::vector<std::size_t> arcs;
+};
+
+struct PathsResult {
+  /// Worst-first: ascending slack (equivalently, descending arrival);
+  /// ties break toward the lexicographically smaller arc sequence.
+  std::vector<Path> paths;
+  /// True when max_expansions stopped the search before K paths (or
+  /// exhaustion); the returned prefix is still correct and ordered.
+  bool truncated = false;
+  /// Candidate expansions performed (observability / test budget).
+  std::size_t expansions = 0;
+};
+
+/// Enumerate the K worst paths of `graph` under `query`.  Throws
+/// std::invalid_argument for more than 64 through-points or an unknown
+/// from/to/through name.
+PathsResult k_worst_paths(const TimingGraph& graph,
+                          const PathQuery& query = {});
+
+}  // namespace awesim::timing

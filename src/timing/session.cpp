@@ -134,6 +134,10 @@ SweepResult Session::sweep(const SweepParam& param,
   // the design back exactly as it found it, even on a throwing point.
   const double original = current_value(param);
   SweepResult result;
+  // The baseline is the design as it stands -- warm when the session
+  // analyzed before, and every point's slack delta / critical-path
+  // change is measured against it.
+  result.baseline = analyze();
   result.points.reserve(values.size());
   try {
     for (const double v : values) {
@@ -141,6 +145,11 @@ SweepResult Session::sweep(const SweepParam& param,
       SweepPoint point;
       point.value = v;
       point.report = analyze();
+      point.worst_slack = point.report.worst_slack;
+      point.slack_delta =
+          point.report.worst_slack - result.baseline.worst_slack;
+      point.critical_path_changed =
+          point.report.critical_path != result.baseline.critical_path;
       result.stages_reused += point.report.awe_stats.stages_reused;
       result.stages_recomputed += point.report.awe_stats.stages_recomputed;
       result.points.push_back(std::move(point));
@@ -152,6 +161,24 @@ SweepResult Session::sweep(const SweepParam& param,
   apply_value(param, original);
   return result;
 }
+
+TimingGraph Session::graph() {
+  GraphOptions gopt;
+  gopt.required_time = options_.required_time;
+  return TimingGraph::build(analyze(), gopt);
+}
+
+TimingGraph Session::graph(double required_time) {
+  GraphOptions gopt;
+  gopt.required_time = required_time;
+  return TimingGraph::build(analyze(), gopt);
+}
+
+PathsResult Session::worst_paths(const PathQuery& query) {
+  return k_worst_paths(graph(), query);
+}
+
+double Session::worst_slack() { return analyze().worst_slack; }
 
 Session::CacheStats Session::cache_stats() const {
   const detail::StageCache::Counters c = cache_->counters();

@@ -36,6 +36,8 @@
 #include <vector>
 
 #include "timing/analyzer.h"
+#include "timing/graph.h"
+#include "timing/paths.h"
 
 namespace awesim::timing {
 
@@ -57,13 +59,26 @@ struct SweepParam {
 struct SweepPoint {
   double value = 0.0;
   TimingReport report;
+  /// Worst endpoint slack at this point (copy of report.worst_slack).
+  double worst_slack = 0.0;
+  /// worst_slack minus the pre-sweep baseline's worst_slack: the what-if
+  /// answer ("this edit buys/costs that much margin").
+  double slack_delta = 0.0;
+  /// The critical path visits a different gate sequence than the
+  /// baseline's -- the edit moved the dominant path, not just its delay.
+  bool critical_path_changed = false;
 };
 
 struct SweepResult {
   /// One full report per swept value, in request order.
   std::vector<SweepPoint> points;
+  /// The pre-sweep analysis at the original parameter value -- the
+  /// reference every point's slack_delta / critical_path_changed is
+  /// measured against.  Warm when the session analyzed before.
+  TimingReport baseline;
   /// Stage-level reuse totals summed over all points (also available
-  /// per point in report.awe_stats).
+  /// per point in report.awe_stats).  The baseline analysis is not a
+  /// point and is not counted here.
   std::uint64_t stages_reused = 0;
   std::uint64_t stages_recomputed = 0;
 };
@@ -102,9 +117,26 @@ class Session {
 
   /// Sweep one parameter over `values`: apply, analyze, restore the
   /// original value afterwards.  Warm by construction -- every point
-  /// reuses all stages the previous points already computed.
+  /// reuses all stages the previous points already computed.  Each point
+  /// carries its slack delta against the pre-sweep baseline and whether
+  /// the critical path moved (the what-if questions a sweep answers).
   SweepResult sweep(const SweepParam& param,
                     const std::vector<double>& values);
+
+  /// Analyze the current design state (warm, through the stage cache)
+  /// and build the pin-level timing graph on the result.  The graph
+  /// honors options().required_time; the overload pins a different
+  /// endpoint requirement for this query only.
+  TimingGraph graph();
+  TimingGraph graph(double required_time);
+
+  /// Analyze (warm) and enumerate the K worst paths of the current
+  /// design state.  See timing/paths.h for query semantics; throws what
+  /// k_worst_paths() throws on bad filter names.
+  PathsResult worst_paths(const PathQuery& query = {});
+
+  /// Analyze (warm) and return the worst endpoint slack.
+  double worst_slack();
 
   const Design& design() const { return design_; }
   const AnalysisOptions& options() const { return options_; }

@@ -117,7 +117,11 @@ std::string stage_result_key(const Gate& driver, const Net& net,
       // The pre-flight toggle changes what a lint-rejected stage answers
       // with (raw evaluation vs the Elmore fallback), so a result cached
       // under one setting must not serve the other.
-      .tag(options.preflight_lint ? 'l' : '-');
+      .tag(options.preflight_lint ? 'l' : '-')
+      // Different delay models give different numbers for the same
+      // stage; one Session serves interleaved queries under several
+      // models, so the kind must split the key space.
+      .integer(static_cast<std::uint64_t>(options.delay_model));
   return kb.take();
 }
 

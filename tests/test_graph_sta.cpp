@@ -1,0 +1,293 @@
+// Differential tests: the explicit TimingGraph against the legacy
+// levelized wavefront.  The graph re-propagates arrival times from arc
+// delays -- it does not copy the analyzer's map -- so agreement here is
+// a real second opinion, and the contract is *bitwise* equality: same
+// arrivals at 1/2/8 threads, warm or cold, and slack == RAT - AT at
+// every pin by construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "timing/graph.h"
+#include "timing/paths.h"
+#include "timing/session.h"
+
+namespace awesim::timing {
+
+namespace {
+
+NetElement r(const std::string& a, const std::string& b, double v) {
+  return {NetElement::Kind::Resistor, a, b, v};
+}
+NetElement c(const std::string& a, double v) {
+  return {NetElement::Kind::Capacitor, a, "0", v};
+}
+
+// Two parallel chains of different speed reconverging on one sink gate
+// that drives a design-output port: multiple waves, real fanin max at
+// "join", and a Port endpoint.
+Design reconvergent_design() {
+  Design d;
+  d.add_gate({"src", 600.0, 4e-15, 0.0});
+  d.set_primary_input("src");
+  Net fan;
+  fan.name = "fan";
+  fan.parasitics = {r("DRV", "h", 150.0), c("h", 20e-15)};
+  fan.sink_node["fast0"] = "h";
+  fan.sink_node["slow0"] = "h";
+  d.add_net("src", fan);
+  const struct {
+    const char* prefix;
+    double wire_r;
+    double wire_c;
+  } chains[] = {{"fast", 200.0, 25e-15}, {"slow", 900.0, 90e-15}};
+  for (const auto& ch : chains) {
+    for (int s = 0; s < 2; ++s) {
+      d.add_gate({ch.prefix + std::to_string(s), 800.0, 5e-15, 3e-12});
+    }
+    Net hop;
+    hop.name = std::string(ch.prefix) + "_hop";
+    hop.parasitics = {r("DRV", "w", ch.wire_r), c("w", ch.wire_c)};
+    hop.sink_node[ch.prefix + std::to_string(1)] = "w";
+    d.add_net(ch.prefix + std::to_string(0), hop);
+    Net into_join;
+    into_join.name = std::string(ch.prefix) + "_join";
+    into_join.parasitics = {r("DRV", "w", ch.wire_r), c("w", ch.wire_c)};
+    into_join.sink_node["join"] = "w";
+    d.add_net(ch.prefix + std::to_string(1), into_join);
+  }
+  d.add_gate({"join", 1e3, 6e-15, 5e-12});
+  Net out;
+  out.name = "out";
+  out.parasitics = {r("DRV", "w", 300.0), c("w", 40e-15)};
+  out.sink_node["OUT"] = "w";  // no such gate: a design-output port
+  d.add_net("join", out);
+  return d;
+}
+
+}  // namespace
+
+TEST(GraphSta, ArrivalsMatchLegacyWavefrontBitwiseAcrossThreads) {
+  const Design d = reconvergent_design();
+  std::vector<TimingReport> reports;
+  for (int threads : {1, 2, 8}) {
+    AnalysisOptions opt;
+    opt.threads = threads;
+    reports.push_back(d.analyze(opt));
+  }
+  for (const TimingReport& report : reports) {
+    const TimingGraph graph = TimingGraph::build(report);
+    // Re-propagated arrivals equal the wavefront's map exactly -- not
+    // approximately: the graph performs the same `arrival + delay` sums
+    // and its max over fanin selects among the same operands.
+    for (const auto& [gate, at] : report.gate_arrival) {
+      EXPECT_EQ(graph.arrival_at(gate), at) << gate;
+    }
+    // The port endpoint sees the critical delay.
+    const std::size_t out = graph.find("OUT");
+    ASSERT_NE(out, TimingGraph::npos);
+    EXPECT_EQ(graph.nodes()[out].arrival, report.critical_delay);
+    EXPECT_EQ(graph.max_arrival(), report.critical_delay);
+  }
+  // And the graphs of different thread counts are bitwise the same
+  // graph: node-for-node, arc-for-arc.
+  const TimingGraph ref = TimingGraph::build(reports.front());
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    const TimingGraph g = TimingGraph::build(reports[i]);
+    ASSERT_EQ(ref.nodes().size(), g.nodes().size());
+    ASSERT_EQ(ref.arcs().size(), g.arcs().size());
+    for (std::size_t n = 0; n < ref.nodes().size(); ++n) {
+      EXPECT_EQ(ref.nodes()[n].name, g.nodes()[n].name);
+      EXPECT_EQ(ref.nodes()[n].arrival, g.nodes()[n].arrival);
+      EXPECT_EQ(ref.nodes()[n].required, g.nodes()[n].required);
+      EXPECT_EQ(ref.nodes()[n].slack, g.nodes()[n].slack);
+      EXPECT_EQ(ref.nodes()[n].level, g.nodes()[n].level);
+    }
+    for (std::size_t a = 0; a < ref.arcs().size(); ++a) {
+      EXPECT_EQ(ref.arcs()[a].from, g.arcs()[a].from);
+      EXPECT_EQ(ref.arcs()[a].to, g.arcs()[a].to);
+      EXPECT_EQ(ref.arcs()[a].delay, g.arcs()[a].delay);
+      EXPECT_EQ(ref.arcs()[a].slack, g.arcs()[a].slack);
+    }
+  }
+}
+
+TEST(GraphSta, SlackIsRequiredMinusArrivalEverywhere) {
+  const Design d = reconvergent_design();
+  const TimingReport report = d.analyze();
+  GraphOptions gopt;
+  gopt.required_time = 2e-9;
+  const TimingGraph graph = TimingGraph::build(report, gopt);
+  for (const TimingNode& node : graph.nodes()) {
+    if (std::isinf(node.required)) continue;  // untimed pin
+    EXPECT_EQ(node.slack, node.required - node.arrival) << node.name;
+  }
+  // Endpoints carry the pinned requirement; the worst endpoint's slack
+  // is the graph-wide minimum.
+  for (const std::size_t id : graph.endpoints()) {
+    EXPECT_EQ(graph.nodes()[id].required, 2e-9);
+    EXPECT_GE(graph.nodes()[id].slack, graph.worst_slack());
+  }
+  // On a single-required-time graph the worst endpoint is the latest
+  // arrival, so worst_slack = required - critical delay.
+  EXPECT_EQ(graph.worst_slack(), 2e-9 - graph.max_arrival());
+}
+
+TEST(GraphSta, FloatingRequiredPinsWorstSlackToZero) {
+  const Design d = reconvergent_design();
+  const TimingReport report = d.analyze();
+  const TimingGraph graph = TimingGraph::build(report);  // NaN: floats
+  EXPECT_EQ(graph.worst_slack(), 0.0);
+  const std::size_t worst = graph.find(graph.worst_endpoint());
+  ASSERT_NE(worst, TimingGraph::npos);
+  EXPECT_EQ(graph.nodes()[worst].arrival, graph.max_arrival());
+  // Endpoint slacks are exact (required is pinned to max_arrival, so
+  // the critical endpoint cancels to 0.0 bitwise).  Interior pins see
+  // the backward pass's right-associated subtractions against the
+  // forward pass's left-associated sums, so their slack may round one
+  // ulp below zero -- allow that, and only that.
+  for (const std::size_t id : graph.endpoints()) {
+    EXPECT_GE(graph.nodes()[id].slack, 0.0) << graph.nodes()[id].name;
+  }
+  for (const TimingNode& node : graph.nodes()) {
+    if (std::isinf(node.slack)) continue;
+    EXPECT_GE(node.slack, -1e-20) << node.name;
+  }
+}
+
+TEST(GraphSta, ReportSlackFieldsComeFromTheGraph) {
+  const Design d = reconvergent_design();
+  AnalysisOptions opt;
+  opt.required_time = 2e-9;
+  const TimingReport report = d.analyze(opt);
+  GraphOptions gopt;
+  gopt.required_time = 2e-9;
+  const TimingGraph graph = TimingGraph::build(report, gopt);
+  ASSERT_EQ(report.gate_slack.size(), report.gate_arrival.size());
+  for (const auto& [gate, slack] : report.gate_slack) {
+    EXPECT_EQ(slack, graph.slack_at(gate)) << gate;
+  }
+  EXPECT_EQ(report.worst_slack, graph.worst_slack());
+  EXPECT_EQ(report.worst_slack_endpoint, graph.worst_endpoint());
+}
+
+TEST(GraphSta, WarmSessionGraphIsBitwiseColdGraph) {
+  const Design d = reconvergent_design();
+  AnalysisOptions opt;
+  opt.required_time = 1.5e-9;
+  Session session(d, opt);
+  const TimingReport cold_report = session.analyze();
+  const TimingGraph cold = TimingGraph::build(cold_report);
+  (void)cold_report;
+  const TimingGraph warm = session.graph();
+  ASSERT_EQ(cold.nodes().size(), warm.nodes().size());
+  for (std::size_t n = 0; n < cold.nodes().size(); ++n) {
+    EXPECT_EQ(cold.nodes()[n].arrival, warm.nodes()[n].arrival);
+  }
+  // Slack queries through the Session agree with the standalone path.
+  EXPECT_EQ(session.worst_slack(), d.analyze(opt).worst_slack);
+  // And the K-worst-path query is served identically warm.
+  PathQuery q;
+  q.k = 4;
+  const PathsResult warm_paths = session.worst_paths(q);
+  const PathsResult cold_paths = k_worst_paths(session.graph(), q);
+  ASSERT_EQ(warm_paths.paths.size(), cold_paths.paths.size());
+  for (std::size_t i = 0; i < warm_paths.paths.size(); ++i) {
+    EXPECT_EQ(warm_paths.paths[i].arrival, cold_paths.paths[i].arrival);
+    EXPECT_EQ(warm_paths.paths[i].arcs, cold_paths.paths[i].arcs);
+  }
+}
+
+TEST(GraphSta, SweepReportsSlackDeltasAndCriticalPathChanges) {
+  AnalysisOptions opt;
+  opt.threads = 1;
+  opt.required_time = 2e-9;
+  Session session(reconvergent_design(), opt);
+  // Fatten the slow chain's wire: arrivals grow, slack deltas go
+  // negative and shrink monotonically with the value.
+  const SweepParam param{SweepParam::Kind::NetElementValue, "slow_join", 0};
+  const SweepResult sweep = session.sweep(param, {1200.0, 2400.0});
+  ASSERT_EQ(sweep.points.size(), 2u);
+  EXPECT_EQ(sweep.baseline.worst_slack,
+            session.analyze().worst_slack);  // design restored
+  for (const SweepPoint& p : sweep.points) {
+    EXPECT_EQ(p.worst_slack, p.report.worst_slack);
+    EXPECT_EQ(p.slack_delta, p.worst_slack - sweep.baseline.worst_slack);
+    EXPECT_LT(p.slack_delta, 0.0);
+  }
+  EXPECT_LT(sweep.points[1].slack_delta, sweep.points[0].slack_delta);
+  // The slow chain already dominates: slowing it further does not move
+  // the critical path.
+  EXPECT_FALSE(sweep.points[0].critical_path_changed);
+
+  // Fatten the *fast* chain until it dominates: the critical path moves.
+  const SweepParam flip{SweepParam::Kind::NetElementValue, "fast_join", 0};
+  const SweepResult flipped = session.sweep(flip, {200.0, 50e3});
+  ASSERT_EQ(flipped.points.size(), 2u);
+  EXPECT_FALSE(flipped.points[0].critical_path_changed);
+  EXPECT_TRUE(flipped.points[1].critical_path_changed);
+}
+
+// Satellite fix under test: a stage that dies promotes its
+// degraded/failed flags onto every arc it produced, and any path using
+// such an arc carries Path::degraded / Path::failed.
+TEST(GraphSta, FailedStageTaintsArcsAndPaths) {
+  const Design d = reconvergent_design();
+  TimingReport report;
+  {
+    core::ScopedFaultInjection inject({{"timing.stage", "slow_join", -1}});
+    report = d.analyze();
+  }
+  ASSERT_EQ(report.failed_stages, 1u);
+
+  const TimingGraph graph = TimingGraph::build(report);
+  std::size_t tainted_arcs = 0;
+  for (const TimingArc& arc : graph.arcs()) {
+    if (arc.net == "slow_join") {
+      EXPECT_TRUE(arc.degraded);
+      EXPECT_TRUE(arc.failed);
+      ++tainted_arcs;
+    } else {
+      EXPECT_FALSE(arc.failed) << arc.net;
+    }
+  }
+  EXPECT_EQ(tainted_arcs, 1u);
+
+  // Enumerate enough paths to see both chains: the path through the
+  // injected net is tainted, the others are clean.
+  PathQuery q;
+  q.k = 8;
+  const PathsResult paths = k_worst_paths(graph, q);
+  bool saw_tainted = false;
+  bool saw_clean = false;
+  for (const Path& p : paths.paths) {
+    bool uses_injected = false;
+    for (const PathPoint& pt : p.points) {
+      if (pt.net == "slow_join") uses_injected = true;
+    }
+    EXPECT_EQ(p.degraded, uses_injected);
+    EXPECT_EQ(p.failed, uses_injected);
+    saw_tainted |= uses_injected;
+    saw_clean |= !uses_injected;
+  }
+  EXPECT_TRUE(saw_tainted);
+  EXPECT_TRUE(saw_clean);
+}
+
+TEST(GraphSta, MalformedReportIsRejected) {
+  TimingReport report;
+  StageTiming st;
+  st.driver_gate = "ghost";  // not in gate_arrival
+  st.net = "n";
+  SinkTiming s;
+  s.gate = "OUT";
+  s.stage_delay = 1e-12;
+  st.sinks.push_back(s);
+  report.stages.push_back(st);
+  EXPECT_THROW(TimingGraph::build(report), std::invalid_argument);
+}
+
+}  // namespace awesim::timing

@@ -1,0 +1,320 @@
+// Property tests for K-worst path enumeration, against brute force.
+//
+// TimingGraph::build needs only a finished TimingReport, so these tests
+// synthesize reports directly -- seeded random DAGs with known arc
+// delays, no AWE engine anywhere -- and check the enumerator against an
+// exhaustive DFS:
+//   * the K-worst list is exactly the first K of the brute-force list
+//     sorted by (arrival desc, arc-sequence lex asc);
+//   * it is duplicate-free and ordered;
+//   * from/to/through filters match post-hoc filtering of brute force;
+//   * K = 1 is the worst-slack endpoint's path;
+//   * everything is deterministic run-to-run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "timing/graph.h"
+#include "timing/paths.h"
+
+namespace awesim::timing {
+
+namespace {
+
+std::string gate_name(int i) {
+  return "g" + std::string(i < 10 ? "0" : "") + std::to_string(i);
+}
+
+// A random layered DAG rendered as a TimingReport: gate i may drive any
+// higher-numbered gate, plus (sometimes) an output port.  Arc delays are
+// uniform in [1, 100] ps.  Gates without fan-in become graph sources
+// automatically; report.source_gates is left empty on purpose to cover
+// that default.
+TimingReport random_report(std::uint32_t seed, int n_gates,
+                           double arc_probability) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> delay(1e-12, 100e-12);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  TimingReport report;
+  for (int i = 0; i < n_gates; ++i) report.gate_arrival[gate_name(i)] = 0.0;
+  for (int i = 0; i < n_gates; ++i) {
+    StageTiming st;
+    st.driver_gate = gate_name(i);
+    st.net = "n" + std::to_string(i);
+    for (int j = i + 1; j < n_gates; ++j) {
+      if (coin(rng) < arc_probability) {
+        SinkTiming s;
+        s.gate = gate_name(j);
+        s.stage_delay = delay(rng);
+        s.slew = 10e-12;
+        st.sinks.push_back(s);
+      }
+    }
+    if (coin(rng) < 0.3) {
+      SinkTiming s;
+      s.gate = "PO" + std::to_string(i);  // no such gate: a port
+      s.stage_delay = delay(rng);
+      st.sinks.push_back(s);
+    }
+    if (!st.sinks.empty()) report.stages.push_back(std::move(st));
+  }
+  return report;
+}
+
+struct BrutePath {
+  double arrival = 0.0;
+  std::vector<std::size_t> arcs;
+};
+
+void dfs(const TimingGraph& g, std::size_t node, double arrival,
+         std::vector<std::size_t>& arcs, std::vector<BrutePath>& out) {
+  const TimingNode& n = g.nodes()[node];
+  if (n.is_endpoint) {
+    out.push_back({arrival, arcs});
+    return;
+  }
+  for (const std::size_t arc_id : n.fanout) {
+    const TimingArc& arc = g.arcs()[arc_id];
+    if (g.nodes()[arc.to].is_source) continue;  // pinned pin: no path
+    arcs.push_back(arc_id);
+    dfs(g, arc.to, arrival + arc.delay, arcs, out);
+    arcs.pop_back();
+  }
+}
+
+// Every source-to-endpoint path, sorted exactly as k_worst_paths emits:
+// descending arrival, ties to the lexicographically smaller arc list.
+std::vector<BrutePath> brute_force(const TimingGraph& g) {
+  std::vector<BrutePath> out;
+  std::vector<std::size_t> arcs;
+  for (const std::size_t src : g.sources()) dfs(g, src, 0.0, arcs, out);
+  std::sort(out.begin(), out.end(), [](const BrutePath& a,
+                                       const BrutePath& b) {
+    if (a.arrival != b.arrival) return a.arrival > b.arrival;
+    return std::lexicographical_compare(a.arcs.begin(), a.arcs.end(),
+                                        b.arcs.begin(), b.arcs.end());
+  });
+  return out;
+}
+
+// Owners visited by a path (source pin plus every arc target).
+std::set<std::string> owners_of(const TimingGraph& g, const BrutePath& p,
+                                std::size_t source_fallback) {
+  std::set<std::string> owners;
+  const std::size_t first =
+      p.arcs.empty() ? source_fallback : g.arcs()[p.arcs.front()].from;
+  owners.insert(g.nodes()[first].owner);
+  for (const std::size_t arc_id : p.arcs) {
+    owners.insert(g.nodes()[g.arcs()[arc_id].to].owner);
+  }
+  return owners;
+}
+
+}  // namespace
+
+TEST(Paths, KWorstMatchesBruteForceOnRandomDags) {
+  for (std::uint32_t seed : {1u, 7u, 23u, 101u, 4242u}) {
+    const TimingReport report = random_report(seed, 14, 0.25);
+    const TimingGraph graph = TimingGraph::build(report);
+    const std::vector<BrutePath> all = brute_force(graph);
+    ASSERT_FALSE(all.empty()) << "seed " << seed;
+
+    PathQuery q;
+    q.k = all.size();
+    const PathsResult result = k_worst_paths(graph, q);
+    EXPECT_FALSE(result.truncated);
+    ASSERT_EQ(result.paths.size(), all.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(result.paths[i].arrival, all[i].arrival)
+          << "seed " << seed << " path " << i;
+      EXPECT_EQ(result.paths[i].arcs, all[i].arcs)
+          << "seed " << seed << " path " << i;
+    }
+    // Point arithmetic is consistent: last point's arrival is the path
+    // arrival, and deltas sum to it.
+    for (const Path& p : result.paths) {
+      ASSERT_FALSE(p.points.empty());
+      EXPECT_EQ(p.points.back().arrival, p.arrival);
+      double sum = 0.0;
+      for (const PathPoint& pt : p.points) sum += pt.delay;
+      EXPECT_EQ(sum, p.arrival);
+    }
+  }
+}
+
+TEST(Paths, ResultsAreSortedAndDuplicateFree) {
+  for (std::uint32_t seed : {3u, 9u, 77u}) {
+    const TimingReport report = random_report(seed, 16, 0.3);
+    const TimingGraph graph = TimingGraph::build(report);
+    PathQuery q;
+    q.k = 500;
+    const PathsResult result = k_worst_paths(graph, q);
+    std::set<std::vector<std::size_t>> seen;
+    for (std::size_t i = 0; i < result.paths.size(); ++i) {
+      if (i > 0) {
+        EXPECT_GE(result.paths[i - 1].arrival, result.paths[i].arrival);
+        EXPECT_LE(result.paths[i - 1].slack, result.paths[i].slack);
+      }
+      EXPECT_TRUE(seen.insert(result.paths[i].arcs).second)
+          << "duplicate path at " << i << " (seed " << seed << ")";
+    }
+  }
+}
+
+TEST(Paths, FiltersMatchBruteForcePostFiltering) {
+  for (std::uint32_t seed : {5u, 31u, 99u}) {
+    const TimingReport report = random_report(seed, 14, 0.3);
+    const TimingGraph graph = TimingGraph::build(report);
+    const std::vector<BrutePath> all = brute_force(graph);
+
+    // Pick the most-visited interior owner as the through point, and the
+    // first path's source/endpoint owners for from/to.
+    ASSERT_FALSE(all.empty());
+    const BrutePath& widest = *std::max_element(
+        all.begin(), all.end(), [](const BrutePath& a, const BrutePath& b) {
+          return a.arcs.size() < b.arcs.size();
+        });
+    ASSERT_GE(widest.arcs.size(), 2u) << "seed " << seed;
+    const std::string through_owner =
+        graph.nodes()[graph.arcs()[widest.arcs[widest.arcs.size() / 2]].to]
+            .owner;
+    const std::string from_owner =
+        graph.nodes()[graph.arcs()[widest.arcs.front()].from].owner;
+    const std::string to_owner =
+        graph.nodes()[graph.arcs()[widest.arcs.back()].to].owner;
+
+    auto expect_matches = [&](const PathQuery& q,
+                              auto&& keep) {
+      std::vector<BrutePath> want;
+      for (const BrutePath& p : all) {
+        if (keep(p)) want.push_back(p);
+      }
+      PathQuery query = q;
+      query.k = all.size() + 1;
+      const PathsResult got = k_worst_paths(graph, query);
+      ASSERT_EQ(got.paths.size(), want.size()) << "seed " << seed;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got.paths[i].arcs, want[i].arcs) << "seed " << seed;
+      }
+    };
+
+    PathQuery through_q;
+    through_q.through = {through_owner};
+    expect_matches(through_q, [&](const BrutePath& p) {
+      return owners_of(graph, p, 0).count(through_owner) > 0;
+    });
+
+    PathQuery from_q;
+    from_q.from = from_owner;
+    expect_matches(from_q, [&](const BrutePath& p) {
+      if (p.arcs.empty()) return false;
+      return graph.nodes()[graph.arcs()[p.arcs.front()].from].owner ==
+             from_owner;
+    });
+
+    PathQuery to_q;
+    to_q.to = to_owner;
+    expect_matches(to_q, [&](const BrutePath& p) {
+      const std::size_t last =
+          p.arcs.empty() ? TimingGraph::npos : graph.arcs()[p.arcs.back()].to;
+      return last != TimingGraph::npos &&
+             graph.nodes()[last].owner == to_owner;
+    });
+
+    PathQuery both;
+    both.from = from_owner;
+    both.to = to_owner;
+    both.through = {through_owner};
+    expect_matches(both, [&](const BrutePath& p) {
+      if (p.arcs.empty()) return false;
+      return graph.nodes()[graph.arcs()[p.arcs.front()].from].owner ==
+                 from_owner &&
+             graph.nodes()[graph.arcs()[p.arcs.back()].to].owner ==
+                 to_owner &&
+             owners_of(graph, p, 0).count(through_owner) > 0;
+    });
+  }
+}
+
+TEST(Paths, KOneIsTheWorstSlackEndpointPath) {
+  for (std::uint32_t seed : {2u, 44u, 1234u}) {
+    const TimingReport report = random_report(seed, 12, 0.35);
+    const TimingGraph graph = TimingGraph::build(report);
+    PathQuery q;
+    q.k = 1;
+    const PathsResult result = k_worst_paths(graph, q);
+    ASSERT_EQ(result.paths.size(), 1u);
+    const Path& worst = result.paths.front();
+    // Floating required time: the worst path's arrival is the graph's
+    // critical delay and its slack is exactly 0.
+    EXPECT_EQ(worst.arrival, graph.max_arrival());
+    EXPECT_EQ(worst.slack, 0.0);
+    // The endpoint it lands on holds the graph's minimum slack.
+    const std::size_t end = graph.find(worst.points.back().pin);
+    ASSERT_NE(end, TimingGraph::npos);
+    EXPECT_EQ(graph.nodes()[end].slack, graph.worst_slack());
+  }
+}
+
+TEST(Paths, DeterministicAcrossRepeatedRunsAndRebuilds) {
+  const TimingReport report = random_report(8675309u, 15, 0.3);
+  const TimingGraph g1 = TimingGraph::build(report);
+  const TimingGraph g2 = TimingGraph::build(report);
+  PathQuery q;
+  q.k = 64;
+  const PathsResult a = k_worst_paths(g1, q);
+  const PathsResult b = k_worst_paths(g1, q);
+  const PathsResult c = k_worst_paths(g2, q);
+  ASSERT_EQ(a.paths.size(), b.paths.size());
+  ASSERT_EQ(a.paths.size(), c.paths.size());
+  for (std::size_t i = 0; i < a.paths.size(); ++i) {
+    EXPECT_EQ(a.paths[i].arcs, b.paths[i].arcs);
+    EXPECT_EQ(a.paths[i].arcs, c.paths[i].arcs);
+    EXPECT_EQ(a.paths[i].arrival, b.paths[i].arrival);
+    EXPECT_EQ(a.paths[i].arrival, c.paths[i].arrival);
+  }
+  EXPECT_EQ(a.expansions, b.expansions);
+  EXPECT_EQ(a.expansions, c.expansions);
+}
+
+TEST(Paths, ExpansionCapTruncates) {
+  const TimingReport report = random_report(17u, 14, 0.4);
+  const TimingGraph graph = TimingGraph::build(report);
+  const std::size_t total = brute_force(graph).size();
+  ASSERT_GT(total, 2u);
+  PathQuery q;
+  q.k = total;
+  q.max_expansions = 2;
+  const PathsResult result = k_worst_paths(graph, q);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_LT(result.paths.size(), total);
+  // The prefix that did come back is still the true worst prefix.
+  const std::vector<BrutePath> all = brute_force(graph);
+  for (std::size_t i = 0; i < result.paths.size(); ++i) {
+    EXPECT_EQ(result.paths[i].arcs, all[i].arcs);
+  }
+}
+
+TEST(Paths, QueryValidation) {
+  const TimingReport report = random_report(5u, 8, 0.3);
+  const TimingGraph graph = TimingGraph::build(report);
+  PathQuery unknown_from;
+  unknown_from.from = "nope";
+  EXPECT_THROW(k_worst_paths(graph, unknown_from), std::invalid_argument);
+  PathQuery unknown_through;
+  unknown_through.through = {"ghost"};
+  EXPECT_THROW(k_worst_paths(graph, unknown_through),
+               std::invalid_argument);
+  PathQuery too_many;
+  too_many.through.assign(65, gate_name(0));
+  EXPECT_THROW(k_worst_paths(graph, too_many), std::invalid_argument);
+  PathQuery zero;
+  zero.k = 0;
+  EXPECT_TRUE(k_worst_paths(graph, zero).paths.empty());
+}
+
+}  // namespace awesim::timing
