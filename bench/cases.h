@@ -23,6 +23,10 @@ void register_sweep_cases();
 /// throughput.
 void register_paths_cases();
 
+/// The service-layer throughput cases: an in-process serve::Server on
+/// loopback TCP under 1/8/32 concurrent clients (qps, p50/p99 latency).
+void register_serve_cases();
+
 /// Idempotent: registers every case exactly once.
 inline void ensure_all_registered() {
   static std::once_flag once;
@@ -31,6 +35,7 @@ inline void ensure_all_registered() {
     register_scaling_cases();
     register_sweep_cases();
     register_paths_cases();
+    register_serve_cases();
   });
 }
 

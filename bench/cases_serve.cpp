@@ -1,0 +1,208 @@
+// Service-layer throughput cases: a real `serve` daemon (loopback TCP,
+// ephemeral port) under 1, 8, and 32 concurrent clients.
+//
+// Each timed repetition has every client connect, then issue a fixed
+// number of strictly serial (send, await response) analyze / worst_paths
+// / ping / stats requests, recording per-request latency.  The design is small and the
+// snapshot's report memoized after the first hit, so the measurement is
+// dominated by what a service actually adds on top of analysis: framing,
+// parsing, admission, dispatch, response rendering, and socket hops.
+//
+// Beyond wall_ms, each case emits schema-v2 extra metrics:
+//   qps        requests completed per second over the timed repetition
+//   p50_ms     median per-request latency
+//   p99_ms     99th-percentile per-request latency
+//   requests   requests per repetition (clients x per-client count)
+// into BENCH_results.json, which is what the CI serve-smoke leg uploads.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cases.h"
+#include "harness.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace awesim::bench {
+
+namespace {
+
+/// Minimal blocking NDJSON client over loopback TCP.
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("bench serve: socket failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("bench serve: connect failed");
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  std::string roundtrip(const std::string& request) {
+    std::string framed = request;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + off,
+                               framed.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) throw std::runtime_error("bench serve: send failed");
+      off += static_cast<std::size_t>(n);
+    }
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) throw std::runtime_error("bench serve: recv failed");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct ServeState {
+  std::unique_ptr<serve::Server> server;
+  int port = 0;
+  std::size_t clients = 1;
+  std::size_t per_client = 0;
+  /// Per-request latencies of the last timed repetition, ms.
+  std::vector<double> latencies_ms;
+  double last_window_s = 0.0;
+};
+
+double percentile_ms(std::vector<double> samples, double p) {
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+/// The read-mostly request mix one client plays, round-robin.
+const std::vector<std::string>& request_mix() {
+  static const std::vector<std::string> kMix = {
+      R"({"id":1,"method":"analyze"})",
+      R"({"id":2,"method":"worst_paths","params":{"k":2}})",
+      R"({"id":3,"method":"ping"})",
+      R"({"id":4,"method":"stats"})",
+  };
+  return kMix;
+}
+
+void run_clients(ServeState& state) {
+  std::vector<std::vector<double>> per_thread(state.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(state.clients);
+  const auto t0 = Clock::now();
+  for (std::size_t t = 0; t < state.clients; ++t) {
+    threads.emplace_back([&state, &per_thread, t] {
+      LineClient client(state.port);
+      auto& lat = per_thread[t];
+      lat.reserve(state.per_client);
+      const auto& mix = request_mix();
+      for (std::size_t i = 0; i < state.per_client; ++i) {
+        const auto r0 = Clock::now();
+        const std::string response =
+            client.roundtrip(mix[(t + i) % mix.size()]);
+        lat.push_back(seconds_since(r0) * 1e3);
+        if (response.find("\"ok\":") == std::string::npos) {
+          throw std::runtime_error("bench serve: malformed response");
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  state.last_window_s = seconds_since(t0);
+  state.latencies_ms.clear();
+  for (const auto& lat : per_thread) {
+    state.latencies_ms.insert(state.latencies_ms.end(), lat.begin(),
+                              lat.end());
+  }
+}
+
+BenchCase serve_case(std::size_t clients, bool quick_tier) {
+  BenchCase bc;
+  bc.name = "serve.throughput_c" + std::to_string(clients);
+  bc.paper_ref = "service layer";
+  bc.problem_size = clients;
+  bc.quick_tier = quick_tier;
+  bc.prepare = [clients] {
+    auto state = std::make_shared<ServeState>();
+    state->clients = clients;
+    state->per_client = clients >= 32 ? 8 : 25;
+    serve::ServeOptions opts;
+    opts.tcp_port = 0;  // ephemeral
+    opts.workers = 2;
+    opts.max_clients = clients + 4;
+    opts.max_queue = 256;
+    opts.max_inflight_per_client = 8;
+    timing::AnalysisOptions analysis;
+    analysis.threads = 1;  // requests are the concurrency unit here
+    state->server = std::make_unique<serve::Server>(
+        serve::builtin_design("fanout8"), analysis, opts);
+    state->server->start();
+    state->port = state->server->tcp_port();
+
+    PreparedCase p;
+    p.run = [state] { run_clients(*state); };
+    p.extra = [state]() -> std::vector<std::pair<std::string, double>> {
+      const double total =
+          static_cast<double>(state->clients * state->per_client);
+      const double qps = state->last_window_s > 0.0
+                             ? total / state->last_window_s
+                             : std::numeric_limits<double>::quiet_NaN();
+      return {
+          {"qps", qps},
+          {"p50_ms", percentile_ms(state->latencies_ms, 0.50)},
+          {"p99_ms", percentile_ms(state->latencies_ms, 0.99)},
+          {"requests", total},
+      };
+    };
+    return p;
+  };
+  return bc;
+}
+
+}  // namespace
+
+void register_serve_cases() {
+  register_bench(serve_case(1, /*quick_tier=*/true));
+  register_bench(serve_case(8, /*quick_tier=*/true));
+  register_bench(serve_case(32, /*quick_tier=*/false));
+}
+
+}  // namespace awesim::bench

@@ -20,6 +20,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cases.h"
@@ -80,6 +81,19 @@ PreparedCase prepare_sweep(std::shared_ptr<SweepState> state) {
                                   state->cold_delays[i]));
     }
     return max_dev;
+  };
+  p.extra = [state]() -> std::vector<std::pair<std::string, double>> {
+    // Cache-health metrics of the warm path: reuse counts from the last
+    // sweep plus the session cache's cumulative eviction count --
+    // nonzero evictions mean the working set outran StageCache::Limits
+    // and part of the measured speedup was recomputed, not replayed.
+    const timing::Session::CacheStats cs = state->session->cache_stats();
+    return {
+        {"stages_reused", static_cast<double>(state->warm.stages_reused)},
+        {"stages_recomputed",
+         static_cast<double>(state->warm.stages_recomputed)},
+        {"cache_evictions", static_cast<double>(cs.evictions)},
+    };
   };
   return p;
 }

@@ -81,6 +81,7 @@ BenchResult run_case(const BenchCase& c, const RunOptions& options) {
                                /*warmup=*/0);
   }
   if (prepared.accuracy) r.accuracy = prepared.accuracy();
+  if (prepared.extra) r.extra = prepared.extra();
   return r;
 }
 
@@ -126,6 +127,11 @@ obs::json::Value to_json(const std::vector<BenchResult>& results,
       phases.push_back(std::move(ph));
     }
     b.set("phases", std::move(phases));
+    // Schema v2: always an object; non-finite metrics serialize as null
+    // through the writer's NaN contract.
+    Value extra = Value::object();
+    for (const auto& [key, value] : r.extra) extra.set(key, value);
+    b.set("extra", std::move(extra));
     benches.push_back(std::move(b));
   }
   doc.set("benches", std::move(benches));
@@ -205,6 +211,15 @@ void validate_bench(const Value& b, const std::string& where,
   const Value* metric = b.find("accuracy_metric");
   require(metric != nullptr && (metric->is_null() || metric->is_string()),
           where + ".accuracy_metric must be string or null", errors);
+  const Value* extra = b.find("extra");
+  if (extra == nullptr || !extra->is_object()) {
+    errors->push_back(where + ".extra missing or not an object (v2)");
+  } else {
+    for (const auto& [key, value] : extra->items()) {
+      require(finite_or_null(&value),
+              where + ".extra." + key + " must be finite or null", errors);
+    }
+  }
   const Value* phases = b.find("phases");
   if (phases == nullptr || !phases->is_array()) {
     errors->push_back(where + ".phases missing or not an array");

@@ -32,7 +32,10 @@
 namespace awesim::bench {
 
 inline constexpr const char* kSchemaName = "awesim-bench-results";
-inline constexpr int kSchemaVersion = 1;
+/// v2: every bench carries an `extra` object of named scalar metrics
+/// (may be empty) -- service benches report qps / latency percentiles,
+/// sweep benches report stage-cache reuse and eviction counts.
+inline constexpr int kSchemaVersion = 2;
 
 using Clock = std::chrono::steady_clock;
 
@@ -90,6 +93,10 @@ struct PreparedCase {
   std::function<void()> reference;
   /// Evaluated once after the timed repetitions.  Optional.
   std::function<double()> accuracy;
+  /// Case-specific named scalar metrics (qps, p99 latency, cache
+  /// evictions), evaluated once after the timed repetitions and
+  /// serialized into the result's `extra` object.  Optional.
+  std::function<std::vector<std::pair<std::string, double>>()> extra;
 };
 
 struct BenchCase {
@@ -132,6 +139,10 @@ struct BenchResult {
   /// Phase breakdown of the timed AWE window (true window extrema: the
   /// harness resets the registry before the timed repetitions).
   obs::PhaseBreakdown phases;
+  /// Named scalar metrics from the case's extra closure, in emit order
+  /// (schema v2: always serialized, possibly empty; non-finite values
+  /// become null).
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 /// Register a case.  Call from the register_*_cases() functions -- the

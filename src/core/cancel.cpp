@@ -1,0 +1,64 @@
+#include "core/cancel.h"
+
+#include <string>
+
+namespace awesim::core {
+
+void CancelToken::set_deadline_after(double seconds) {
+  if (seconds <= 0.0) {
+    has_deadline_.store(false, std::memory_order_release);
+    return;
+  }
+  const auto ticks =
+      (Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(seconds)))
+          .time_since_epoch()
+          .count();
+  deadline_ticks_.store(ticks, std::memory_order_release);
+  has_deadline_.store(true, std::memory_order_release);
+}
+
+void CancelToken::set_budget(std::uint64_t units) {
+  budget_.store(units, std::memory_order_release);
+}
+
+void CancelToken::cancel() {
+  cancelled_.store(true, std::memory_order_release);
+}
+
+bool CancelToken::expired() const {
+  if (cancelled_.load(std::memory_order_acquire)) return true;
+  if (!has_deadline_.load(std::memory_order_acquire)) return false;
+  return Clock::now().time_since_epoch().count() >=
+         deadline_ticks_.load(std::memory_order_acquire);
+}
+
+void CancelToken::check(const char* where) const {
+  if (!expired()) return;
+  Diagnostic diag;
+  diag.code = DiagCode::DeadlineExceeded;
+  diag.severity = Severity::Error;
+  diag.message = std::string("request cancelled at ") + where +
+                 (cancelled_.load(std::memory_order_acquire)
+                      ? " (cancelled by caller)"
+                      : " (deadline exceeded)");
+  throw DiagnosticError(std::move(diag));
+}
+
+void CancelToken::charge(const char* where, std::uint64_t units) {
+  check(where);
+  const std::uint64_t budget = budget_.load(std::memory_order_acquire);
+  const std::uint64_t total =
+      charged_.fetch_add(units, std::memory_order_relaxed) + units;
+  if (budget != 0 && total > budget) {
+    Diagnostic diag;
+    diag.code = DiagCode::BudgetExceeded;
+    diag.severity = Severity::Error;
+    diag.message = std::string("work budget exhausted at ") + where +
+                   " (" + std::to_string(total) + " units charged, " +
+                   std::to_string(budget) + " allowed)";
+    throw DiagnosticError(std::move(diag));
+  }
+}
+
+}  // namespace awesim::core

@@ -1,0 +1,89 @@
+// Cooperative cancellation for long-running analyses.
+//
+// A timing service cannot afford a query that never comes back: a
+// pathological sweep, an adversarial path filter, or a client that set a
+// 10 ms deadline on a 10 s design must all turn into a *structured
+// error*, never a killed process or a corrupted cache.  CancelToken is
+// the mechanism: the request layer arms a wall-clock deadline and/or a
+// work budget, threads a pointer through AnalysisOptions / PathQuery,
+// and the pipeline's long loops consult it at natural checkpoints --
+// the timing wavefront at stage granularity, the K-worst path search at
+// expansion granularity.
+//
+// Contract:
+//   * A token that never trips is invisible: the analysis performs the
+//     exact same arithmetic and produces bit-identical results, with or
+//     without a token attached (checks are reads; charges touch only
+//     the token's own counters).
+//   * A tripped check throws core::DiagnosticError carrying a
+//     DeadlineExceeded / BudgetExceeded record.  Callers that own a
+//     cache are safe by construction: cached artifacts are only
+//     published for fully evaluated stages, so an abandoned analysis
+//     leaves the cache valid and warm for the retry.
+//   * Thread safety: all state is atomic.  One token may be consulted
+//     concurrently by every worker of the evaluating pool and
+//     cancelled asynchronously (client disconnect) from another thread.
+//
+// The deadline check costs one steady_clock read; the budget charge one
+// relaxed fetch_add.  Both are noise next to a stage evaluation or a
+// path expansion.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "core/diagnostic.h"
+
+namespace awesim::core {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arm a wall-clock deadline `seconds` from now (<= 0 disarms).
+  void set_deadline_after(double seconds);
+
+  /// Arm a work budget: the cumulative units charged via charge() before
+  /// BudgetExceeded trips.  0 disarms.  Units are whatever the consulted
+  /// loop charges -- the timing analyzer charges one per stage
+  /// evaluation, the path search one per candidate expansion.
+  void set_budget(std::uint64_t units);
+
+  /// Asynchronous cancellation (client hung up, server shutting down).
+  /// The next check() anywhere throws DeadlineExceeded.
+  void cancel();
+
+  /// True when cancelled or past the deadline (budget state is only
+  /// observable through charge()).  Never throws.
+  bool expired() const;
+
+  /// Throw DeadlineExceeded (as DiagnosticError) when cancelled or past
+  /// the deadline.  `where` names the checkpoint for the diagnostic
+  /// ("timing.wave", "paths.expand", ...).
+  void check(const char* where) const;
+
+  /// charge() = check() plus `units` of budget consumption; throws
+  /// BudgetExceeded once cumulative charges pass the armed budget.  The
+  /// charge that crosses the line is the one that throws, so a budget of
+  /// N admits exactly N units.
+  void charge(const char* where, std::uint64_t units = 1);
+
+  /// Units charged so far (observability for tests and stats).
+  std::uint64_t charged() const {
+    return charged_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<Clock::rep> deadline_ticks_{0};
+  std::atomic<std::uint64_t> budget_{0};  // 0 = disarmed
+  std::atomic<std::uint64_t> charged_{0};
+};
+
+}  // namespace awesim::core

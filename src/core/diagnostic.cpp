@@ -28,6 +28,11 @@ const char* to_string(DiagCode code) {
     case DiagCode::StageDegraded: return "stage-degraded";
     case DiagCode::StageFailed: return "stage-failed";
     case DiagCode::CacheInvalidated: return "cache-invalidated";
+    case DiagCode::DeadlineExceeded: return "deadline-exceeded";
+    case DiagCode::BudgetExceeded: return "budget-exceeded";
+    case DiagCode::InvalidRequest: return "invalid-request";
+    case DiagCode::ServerOverloaded: return "server-overloaded";
+    case DiagCode::InternalError: return "internal-error";
     case DiagCode::InjectedFault: return "injected-fault";
   }
   return "unknown";

@@ -52,6 +52,14 @@ enum class DiagCode {
   StageDegraded,    // a stage answered with a degraded (flagged) estimate
   StageFailed,      // a stage could not be approximated; bound substituted
   CacheInvalidated, // a session cache entry failed verification; recomputed
+  // Request lifecycle (timing-as-a-service; see src/serve and
+  // core/cancel.h).  These describe the *request*, never the design:
+  // a deadline-exceeded analysis left no partial results behind.
+  DeadlineExceeded, // cooperative cancellation: wall-clock deadline hit
+  BudgetExceeded,   // cooperative cancellation: work budget exhausted
+  InvalidRequest,   // malformed/unknown service request or parameters
+  ServerOverloaded, // admission queue full / in-flight limit; retry later
+  InternalError,    // unexpected failure surfaced as a structured response
   // Test harness.
   InjectedFault,    // a FaultInjector rule fired here
 };

@@ -14,6 +14,7 @@ Stats& Stats::operator+=(const Stats& other) {
   cache_misses += other.cache_misses;
   stages_reused += other.stages_reused;
   stages_recomputed += other.stages_recomputed;
+  cache_evictions += other.cache_evictions;
   lint_errors += other.lint_errors;
   lint_warnings += other.lint_warnings;
   window_shifts += other.window_shifts;
@@ -38,6 +39,7 @@ Stats& Stats::operator-=(const Stats& other) {
   cache_misses -= other.cache_misses;
   stages_reused -= other.stages_reused;
   stages_recomputed -= other.stages_recomputed;
+  cache_evictions -= other.cache_evictions;
   lint_errors -= other.lint_errors;
   lint_warnings -= other.lint_warnings;
   window_shifts -= other.window_shifts;
@@ -88,13 +90,19 @@ std::string Stats::summary() const {
   }
   if (cache_hits + cache_misses > 0 && n > 0 &&
       static_cast<std::size_t>(n) < sizeof buf) {
+    n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                       " | cache %llu hit, %llu miss "
+                       "(%llu stages reused, %llu recomputed)",
+                       static_cast<unsigned long long>(cache_hits),
+                       static_cast<unsigned long long>(cache_misses),
+                       static_cast<unsigned long long>(stages_reused),
+                       static_cast<unsigned long long>(stages_recomputed));
+  }
+  if (cache_evictions > 0 && n > 0 &&
+      static_cast<std::size_t>(n) < sizeof buf) {
     std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
-                  " | cache %llu hit, %llu miss "
-                  "(%llu stages reused, %llu recomputed)",
-                  static_cast<unsigned long long>(cache_hits),
-                  static_cast<unsigned long long>(cache_misses),
-                  static_cast<unsigned long long>(stages_reused),
-                  static_cast<unsigned long long>(stages_recomputed));
+                  " | %llu evicted",
+                  static_cast<unsigned long long>(cache_evictions));
   }
   return buf;
 }

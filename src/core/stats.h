@@ -48,6 +48,13 @@ struct Stats {
   std::uint64_t cache_misses = 0;
   std::uint64_t stages_reused = 0;
   std::uint64_t stages_recomputed = 0;
+  /// Cache entries FIFO-evicted at the capacity limits *during this
+  /// analysis* (stage records, LU factorizations, and lint reports
+  /// combined).  Zero on an unbounded-fit workload; nonzero means the
+  /// working set outruns StageCache::Limits and warm speedups are
+  /// partially lost -- previously invisible outside Session::
+  /// cache_stats(), now in every report and bench snapshot.
+  std::uint64_t cache_evictions = 0;
 
   /// Pre-flight lint findings (src/check rule pipeline) tallied by the
   /// layer that ran the lint: Engine when EngineOptions::preflight_lint

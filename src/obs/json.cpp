@@ -63,15 +63,33 @@ class Parser {
   Value parse_document() {
     Value v = parse_value();
     skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
+    if (pos_ != text_.size()) {
+      fail(ParseErrorCode::TrailingData,
+           "trailing characters after document");
+    }
     return v;
   }
 
  private:
-  [[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error("json parse error at byte " +
-                             std::to_string(pos_) + ": " + what);
+  [[noreturn]] void fail(ParseErrorCode code, const std::string& what) {
+    throw ParseError(code, pos_, what);
   }
+
+  /// Containers recurse through here; the depth cap turns adversarial
+  /// nesting into a typed error before the call stack is at risk.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxParseDepth) {
+        parser.fail(ParseErrorCode::DepthExceeded,
+                    "nesting deeper than " +
+                        std::to_string(kMaxParseDepth) + " levels");
+      }
+    }
+    ~DepthGuard() { --parser.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser;
+  };
 
   void skip_ws() {
     while (pos_ < text_.size()) {
@@ -85,13 +103,16 @@ class Parser {
   }
 
   char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
+    if (pos_ >= text_.size()) {
+      fail(ParseErrorCode::UnexpectedEnd, "unexpected end of input");
+    }
     return text_[pos_];
   }
 
   void expect(char c) {
     if (peek() != c) {
-      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+      fail(ParseErrorCode::BadSyntax,
+           std::string("expected '") + c + "', got '" + peek() + "'");
     }
     ++pos_;
   }
@@ -110,19 +131,26 @@ class Parser {
       case '[': return parse_array();
       case '"': return Value(parse_string());
       case 't':
-        if (!consume_literal("true")) fail("bad literal");
+        if (!consume_literal("true")) {
+          fail(ParseErrorCode::BadLiteral, "bad literal");
+        }
         return Value(true);
       case 'f':
-        if (!consume_literal("false")) fail("bad literal");
+        if (!consume_literal("false")) {
+          fail(ParseErrorCode::BadLiteral, "bad literal");
+        }
         return Value(false);
       case 'n':
-        if (!consume_literal("null")) fail("bad literal");
+        if (!consume_literal("null")) {
+          fail(ParseErrorCode::BadLiteral, "bad literal");
+        }
         return Value();
       default: return parse_number();
     }
   }
 
   Value parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     Value obj = Value::object();
     skip_ws();
@@ -132,7 +160,9 @@ class Parser {
     }
     while (true) {
       skip_ws();
-      if (peek() != '"') fail("object key must be a string");
+      if (peek() != '"') {
+        fail(ParseErrorCode::BadSyntax, "object key must be a string");
+      }
       std::string key = parse_string();
       skip_ws();
       expect(':');
@@ -148,6 +178,7 @@ class Parser {
   }
 
   Value parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     Value arr = Value::array();
     skip_ws();
@@ -180,7 +211,7 @@ class Parser {
       } else if (c >= 'A' && c <= 'F') {
         code |= static_cast<unsigned>(c - 'A' + 10);
       } else {
-        fail("bad \\u escape digit");
+        fail(ParseErrorCode::BadEscape, "bad \\u escape digit");
       }
     }
     return code;
@@ -208,7 +239,9 @@ class Parser {
     expect('"');
     std::string out;
     while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
+      if (pos_ >= text_.size()) {
+        fail(ParseErrorCode::UnterminatedString, "unterminated string");
+      }
       const char c = text_[pos_++];
       if (c == '"') return out;
       if (c != '\\') {
@@ -230,17 +263,22 @@ class Parser {
           unsigned code = parse_hex4();
           if (code >= 0xD800 && code <= 0xDBFF) {
             // Surrogate pair: a low surrogate must follow.
-            if (!consume_literal("\\u")) fail("lone high surrogate");
+            if (!consume_literal("\\u")) {
+              fail(ParseErrorCode::BadEscape, "lone high surrogate");
+            }
             const unsigned low = parse_hex4();
-            if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail(ParseErrorCode::BadEscape, "bad low surrogate");
+            }
             code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
           } else if (code >= 0xDC00 && code <= 0xDFFF) {
-            fail("lone low surrogate");
+            fail(ParseErrorCode::BadEscape, "lone low surrogate");
           }
           append_utf8(out, code);
           break;
         }
-        default: fail("bad escape character");
+        default:
+          fail(ParseErrorCode::BadEscape, "bad escape character");
       }
     }
   }
@@ -255,19 +293,44 @@ class Parser {
             text_[pos_] == '-')) {
       ++pos_;
     }
-    if (pos_ == start) fail("expected a value");
+    if (pos_ == start) fail(ParseErrorCode::BadNumber, "expected a value");
     const std::string token(text_.substr(start, pos_ - start));
     char* end = nullptr;
     const double n = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') fail("malformed number");
+    if (end == nullptr || *end != '\0') {
+      fail(ParseErrorCode::BadNumber, "malformed number");
+    }
     return Value(n);
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
+
+const char* to_string(ParseErrorCode code) {
+  switch (code) {
+    case ParseErrorCode::UnexpectedEnd: return "unexpected-end";
+    case ParseErrorCode::UnterminatedString: return "unterminated-string";
+    case ParseErrorCode::BadEscape: return "bad-escape";
+    case ParseErrorCode::BadLiteral: return "bad-literal";
+    case ParseErrorCode::BadNumber: return "bad-number";
+    case ParseErrorCode::BadSyntax: return "bad-syntax";
+    case ParseErrorCode::DepthExceeded: return "depth-exceeded";
+    case ParseErrorCode::TrailingData: return "trailing-data";
+  }
+  return "unknown";
+}
+
+ParseError::ParseError(ParseErrorCode code, std::size_t offset,
+                       const std::string& message)
+    : std::runtime_error("json parse error at byte " +
+                         std::to_string(offset) + ": " + message + " [" +
+                         to_string(code) + "]"),
+      code_(code),
+      offset_(offset) {}
 
 bool Value::as_bool() const {
   if (type_ != Type::Bool) type_error("bool", type_);

@@ -12,17 +12,58 @@
 // never "NaN").
 //
 // Parsing: strict recursive descent over UTF-8 text.  Throws
-// std::runtime_error with a byte offset on malformed input.  \uXXXX
-// escapes decode to UTF-8, surrogate pairs included.
+// json::ParseError (a std::runtime_error carrying the byte offset and a
+// typed reason) on malformed input -- nothing is ever silently
+// truncated or coerced.  \uXXXX escapes decode to UTF-8, surrogate
+// pairs included.  Nesting depth is capped (kMaxParseDepth) so
+// adversarial input ("[[[[..." from an untrusted service client)
+// fails with DepthExceeded instead of overflowing the parser's stack.
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 namespace awesim::obs::json {
+
+/// Maximum container nesting the parser accepts.  Deep enough for any
+/// artifact this repo writes (BENCH_results.json nests 5 levels); far
+/// below the recursion depth that would threaten the stack.
+inline constexpr std::size_t kMaxParseDepth = 96;
+
+/// Why a parse failed -- stable taxonomy for negative-path tests and for
+/// the serve layer's structured invalid-request responses.
+enum class ParseErrorCode {
+  UnexpectedEnd,       // input ended inside a value
+  UnterminatedString,  // closing '"' never arrived
+  BadEscape,           // invalid \x escape or broken surrogate pair
+  BadLiteral,          // not true/false/null
+  BadNumber,           // number token strtod rejects
+  BadSyntax,           // structural error (missing ':', stray comma, ...)
+  DepthExceeded,       // more than kMaxParseDepth nested containers
+  TrailingData,        // non-whitespace after the document
+};
+
+const char* to_string(ParseErrorCode code);
+
+/// Parse failure: byte offset plus typed reason.  Subclasses
+/// std::runtime_error so pre-existing catch sites keep working.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(ParseErrorCode code, std::size_t offset,
+             const std::string& message);
+
+  ParseErrorCode code() const { return code_; }
+  /// Byte offset into the input where the failure was detected.
+  std::size_t offset() const { return offset_; }
+
+ private:
+  ParseErrorCode code_;
+  std::size_t offset_;
+};
 
 class Value {
  public:
@@ -89,7 +130,8 @@ class Value {
 };
 
 /// Parse a complete JSON document (trailing non-whitespace is an error).
-/// Throws std::runtime_error with a byte offset on malformed input.
+/// Throws ParseError with a byte offset and typed reason on malformed
+/// input.
 Value parse(std::string_view text);
 
 }  // namespace awesim::obs::json

@@ -1,0 +1,166 @@
+// awesim_serve: the timing-as-a-service daemon.  Loads a design, then
+// answers newline-delimited JSON requests (see serve/protocol.h and
+// DESIGN.md section 13) over a Unix-domain socket, a loopback TCP
+// socket, or stdin/stdout.
+//
+//   awesim_serve --unix /tmp/awesim.sock [options]
+//   awesim_serve --tcp 7777 [options]         # 0 picks an ephemeral port
+//   awesim_serve --stdio [options]            # one-process mode: NDJSON
+//                                             # on stdin, responses on
+//                                             # stdout (CI / scripting)
+//
+// Options:
+//   --design NAME          builtin design: chainN or fanoutN (default
+//                          chain8)
+//   --workers N            dispatcher threads (default 2)
+//   --max-queue N          admission queue capacity (default 64)
+//   --max-clients N        concurrent connections (default 32)
+//   --max-inflight N       per-client pipelining cap (default 8)
+//   --idle-timeout S       disconnect silent clients after S seconds
+//   --default-deadline-ms M  deadline applied to requests without one
+//   --threads N            analyzer threads per request (default 0=auto)
+//
+// Socket modes print one "listening ..." line to stdout once bound (so
+// scripts can synchronize), then serve until a shutdown request.  Exit
+// status: 0 on clean shutdown, 1 on startup failure, 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "timing/snapshot.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--unix PATH | --tcp PORT | --stdio)\n"
+               "          [--design chainN|fanoutN] [--workers N]\n"
+               "          [--max-queue N] [--max-clients N]\n"
+               "          [--max-inflight N] [--idle-timeout SECONDS]\n"
+               "          [--default-deadline-ms MS] [--threads N]\n",
+               argv0);
+  return 2;
+}
+
+/// NDJSON on stdin -> responses on stdout; serves until shutdown or EOF.
+int run_stdio(awesim::timing::Design design,
+              const awesim::timing::AnalysisOptions& analysis,
+              double default_deadline_ms) {
+  awesim::timing::SnapshotStore store(std::move(design), analysis);
+  awesim::serve::HandleOptions hopts;
+  hopts.default_deadline_ms = default_deadline_ms;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const awesim::serve::HandleResult result =
+        awesim::serve::handle_line(store, line, hopts);
+    std::fputs(result.line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+    if (result.shutdown) return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  awesim::serve::ServeOptions options;
+  awesim::timing::AnalysisOptions analysis;
+  std::string design_name = "chain8";
+  bool stdio = false;
+  bool have_listener = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--stdio") {
+      stdio = true;
+      have_listener = true;
+    } else if (arg == "--unix") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.unix_path = v;
+      have_listener = true;
+    } else if (arg == "--tcp") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.tcp_port = std::atoi(v);
+      have_listener = true;
+    } else if (arg == "--design") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      design_name = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.workers = std::atoi(v);
+    } else if (arg == "--max-queue") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.max_queue = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--max-clients") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.max_clients = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.max_inflight_per_client =
+          static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--idle-timeout") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.idle_timeout_s = std::atof(v);
+    } else if (arg == "--default-deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.default_deadline_ms = std::atof(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      analysis.threads = std::atoi(v);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!have_listener) return usage(argv[0]);
+
+  awesim::timing::Design design;
+  try {
+    design = awesim::serve::builtin_design(design_name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "awesim_serve: %s\n", e.what());
+    return 2;
+  }
+
+  if (stdio) {
+    return run_stdio(std::move(design), analysis,
+                     options.default_deadline_ms);
+  }
+
+  try {
+    awesim::serve::Server server(std::move(design), analysis, options);
+    server.start();
+    if (!options.unix_path.empty()) {
+      std::printf("awesim_serve listening on unix:%s\n",
+                  options.unix_path.c_str());
+    } else {
+      std::printf("awesim_serve listening on 127.0.0.1:%d\n",
+                  server.tcp_port());
+    }
+    std::fflush(stdout);
+    server.wait();
+    server.stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "awesim_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

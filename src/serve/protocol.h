@@ -1,0 +1,149 @@
+// Wire protocol for `awesim_serve` -- newline-delimited JSON requests
+// over a byte stream (Unix-domain socket, TCP loopback, or stdio).
+//
+// This layer is deliberately socket-free: it turns one request *line*
+// into one response *line* against a timing::SnapshotStore, so the
+// daemon (src/serve/server.h), the stdio mode of the binary, the
+// protocol tests, and the throughput benches all share one code path.
+// Every failure mode -- malformed JSON, schema violations, unknown
+// methods, bad parameters, tripped deadlines and budgets, injected
+// faults -- becomes a structured error response; handle_line() never
+// throws and never returns anything but a complete JSON object.
+//
+// Schema v1 (kProtocolVersion):
+//
+//   request  := {"id": any, "method": string, "params": object?}
+//     params may carry, for any method:
+//       "deadline_ms":  number  wall-clock budget for this request
+//       "stage_budget": number  max stage evaluations / path expansions
+//   response := {"id": <echoed>, "ok": true,
+//                "generation": N, "result": object}
+//             | {"id": <echoed>, "ok": false,
+//                "error": {"code": string, "severity": string,
+//                          "message": string, "diagnostics": [...]},
+//                "retry_after_ms": number?}   // ServerOverloaded only
+//
+// Methods: ping, analyze, set_value, set_gate, sweep, lint,
+// worst_paths, stats, load_design, shutdown.  DESIGN.md section 13
+// documents each method's parameters and result shape.
+//
+// Fault probes (core/fault.h): serve.parse (key "*") fires before the
+// request parse; serve.dispatch (key = method) fires before execution.
+// Both yield well-formed injected-fault error responses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "check/lint.h"
+#include "core/diagnostic.h"
+#include "obs/json.h"
+#include "timing/session.h"
+#include "timing/snapshot.h"
+
+namespace awesim::core {
+class CancelToken;
+}
+
+namespace awesim::serve {
+
+inline constexpr int kProtocolVersion = 1;
+
+/// One parsed request.  `id` is echoed verbatim into the response (any
+/// JSON value; null when the field was absent).
+struct Request {
+  obs::json::Value id;
+  std::string method;
+  obs::json::Value params = obs::json::Value::object();
+  /// Wall-clock deadline for this request, in milliseconds (0 = none).
+  double deadline_ms = 0.0;
+  /// Work budget: stage evaluations + path expansions (0 = none).
+  std::uint64_t stage_budget = 0;
+};
+
+/// Parse one request line.  Throws obs::json::ParseError on malformed
+/// JSON and core::DiagnosticError (InvalidRequest) on schema violations
+/// (non-object document, missing/non-string method, non-object params,
+/// bad deadline/budget types).
+Request parse_request(std::string_view line);
+
+/// Structured JSON rendering of one diagnostic record / a whole list.
+obs::json::Value diagnostic_to_json(const core::Diagnostic& diag);
+obs::json::Value diagnostics_to_json(const core::Diagnostics& diags);
+
+/// Response builders.  `retry_after_ms` < 0 omits the field; it is the
+/// shed-response hint ("come back once the queue drained").
+obs::json::Value ok_response(const obs::json::Value& id,
+                             std::uint64_t generation,
+                             obs::json::Value result);
+obs::json::Value error_response(const obs::json::Value& id,
+                                const core::Diagnostic& diag,
+                                double retry_after_ms = -1.0);
+
+/// Convenience diagnostics for the request lifecycle.
+core::Diagnostic invalid_request(std::string message);
+core::Diagnostic server_overloaded(std::string message);
+
+/// Result renderers (all shapes documented in DESIGN.md section 13).
+obs::json::Value report_to_json(const timing::TimingReport& report,
+                                bool include_stages);
+obs::json::Value paths_to_json(const timing::PathsResult& result);
+obs::json::Value sweep_to_json(const timing::SweepResult& result);
+obs::json::Value lint_to_json(const check::LintReport& report);
+obs::json::Value cache_stats_to_json(const timing::Session::CacheStats& s);
+
+/// Build a timing::Design from its JSON description:
+///   {"gates": [{"name", "drive_resistance"?, "input_capacitance"?,
+///               "intrinsic_delay"?}, ...],
+///    "nets":  [{"driver", "name", "sinks": {gate: node, ...},
+///               "elements": [{"kind": "R"|"C"|"L", "a", "b",
+///                             "value"}, ...]}, ...],
+///    "primary_inputs": [gate, ...]}
+/// Throws core::DiagnosticError (InvalidRequest) naming the offending
+/// field on any schema violation.
+timing::Design design_from_json(const obs::json::Value& v);
+
+/// Deterministic built-in designs, for the daemon default, tests, and
+/// benches: "chainN" (N-stage inverter chain, one RC net per stage) and
+/// "fanoutN" (one root driving N sinks through a shared net, then a
+/// reconvergent second level).  Throws core::DiagnosticError
+/// (InvalidRequest) for an unknown name or absurd N.
+timing::Design builtin_design(const std::string& name);
+
+/// Execute one parsed request against the store.  Returns the result
+/// object and sets `generation_out` to the generation that answered
+/// (reads: the pinned snapshot's; mutations: the newly published one).
+/// Throws core::DiagnosticError / std::invalid_argument on failures --
+/// handle_line() is the layer that renders those into responses.
+/// `server_stats`, when non-null, is merged into the `stats` result
+/// under "server" (the daemon injects its queue/shed counters here).
+obs::json::Value dispatch(timing::SnapshotStore& store, const Request& req,
+                          core::CancelToken* cancel,
+                          std::uint64_t* generation_out,
+                          const std::function<obs::json::Value()>*
+                              server_stats = nullptr);
+
+/// Knobs the daemon threads through to the per-line handler.
+struct HandleOptions {
+  /// Merged into `stats` results under "server" when set.
+  std::function<obs::json::Value()> server_stats;
+  /// Applied when a request carries no deadline_ms of its own (the
+  /// daemon's safety net against a stuck analysis; 0 = none).
+  double default_deadline_ms = 0.0;
+};
+
+/// One request line -> one response line, never throwing.  `shutdown`
+/// is set true when the request was a well-formed shutdown method (the
+/// caller stops its loop; the response still goes out first).  `ok`
+/// mirrors the response's "ok" field, for the daemon's counters.
+struct HandleResult {
+  std::string line;
+  bool ok = false;
+  bool shutdown = false;
+};
+HandleResult handle_line(timing::SnapshotStore& store, std::string_view line,
+                         const HandleOptions& options = {});
+
+}  // namespace awesim::serve

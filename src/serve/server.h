@@ -1,0 +1,193 @@
+// The `awesim_serve` daemon core: a fault-tolerant, multiplexing
+// timing-as-a-service front end over timing::SnapshotStore.
+//
+// Threading model (all counts bounded, nothing unbounded anywhere):
+//
+//   accept thread ──> per-connection reader threads (<= max_clients)
+//                         │  split bytes into NDJSON lines
+//                         ▼
+//                  bounded admission queue (<= max_queue)
+//                         │
+//                         ▼
+//                  worker threads (ServeOptions::workers)
+//                     parse -> cancel token -> dispatch -> respond
+//                     (serve/protocol.h handle_line: never throws)
+//
+// Robustness pillars, mapped to code:
+//   * snapshot isolation  -- workers read through SnapshotStore pins;
+//     mutating methods go through SnapshotStore::mutate (copy, edit,
+//     publish-or-nothing).  A reader mid-request keeps its generation.
+//   * deadlines/budgets   -- per-request deadline_ms / stage_budget
+//     become a CancelToken; a tripped token is a structured
+//     deadline-exceeded / budget-exceeded response, never a killed
+//     worker.  default_deadline_ms is the daemon-side safety net.
+//   * overload shedding   -- a full admission queue or a client over its
+//     in-flight limit gets an immediate server-overloaded response with
+//     a retry_after_ms hint; the daemon never queues unboundedly.  A
+//     connection beyond max_clients is refused with the same structured
+//     response.  Idle clients are disconnected after idle_timeout_s
+//     (SO_RCVTIMEO), so stuck sockets cannot pin reader threads.
+//   * fault surfacing     -- serve.accept / serve.parse / serve.dispatch
+//     probes (core/fault.h) plus every engine/timing/cache probe
+//     downstream surface as well-formed JSON error responses while the
+//     daemon keeps serving (tests/test_serve_daemon.cpp fault matrix).
+//
+// The listener is either a Unix-domain socket (unix_path) or a loopback
+// TCP socket (tcp_port; 0 picks an ephemeral port, for tests).  One
+// response line per request line, in completion order -- clients that
+// pipeline requests match responses by id.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/protocol.h"
+#include "timing/analyzer.h"
+#include "timing/snapshot.h"
+
+namespace awesim::serve {
+
+struct ServeOptions {
+  /// Unix-domain socket path; when non-empty it wins over tcp_port.  A
+  /// stale file at the path is unlinked before bind.
+  std::string unix_path;
+  /// Loopback TCP port (127.0.0.1); 0 binds an ephemeral port, -1
+  /// disables TCP.  Ignored when unix_path is set.
+  int tcp_port = -1;
+
+  /// Dispatcher worker threads.
+  int workers = 2;
+  /// Admission queue capacity; requests beyond it are shed.
+  std::size_t max_queue = 64;
+  /// Concurrent client connections; further connects are refused with a
+  /// structured server-overloaded response.
+  std::size_t max_clients = 32;
+  /// Per-client in-flight request limit (pipelining cap).
+  std::size_t max_inflight_per_client = 8;
+  /// Longest accepted request line, bytes; longer closes the client.
+  std::size_t max_request_bytes = 1 << 20;
+  /// Reader receive timeout: a client sending nothing for this long is
+  /// disconnected (stuck/idle client defense).  <= 0 disables.
+  double idle_timeout_s = 30.0;
+  /// Applied to requests that carry no deadline_ms (0 = none).
+  double default_deadline_ms = 0.0;
+  /// Hint returned with shed responses.
+  double retry_after_ms = 50.0;
+};
+
+/// Monotonic daemon counters (a snapshot; the live ones are atomic).
+struct ServeCounters {
+  std::uint64_t accepted = 0;        // connections admitted
+  std::uint64_t refused = 0;         // connections over max_clients
+  std::uint64_t requests = 0;        // lines admitted to the queue
+  std::uint64_t responses_ok = 0;    // ok:true responses written
+  std::uint64_t responses_error = 0; // ok:false responses written
+  std::uint64_t shed_queue = 0;      // shed: admission queue full
+  std::uint64_t shed_inflight = 0;   // shed: client over in-flight cap
+  std::uint64_t oversize = 0;        // lines over max_request_bytes
+  std::uint64_t idle_closed = 0;     // connections reaped by idle timeout
+  std::uint64_t accept_faults = 0;   // serve.accept probe firings
+  std::uint64_t write_failures = 0;  // response writes that failed
+};
+
+class Server {
+ public:
+  Server(timing::Design design, timing::AnalysisOptions analysis,
+         ServeOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spin up the accept/worker threads.  Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Block until a client's shutdown request (or stop()).
+  void wait();
+
+  /// Graceful stop: refuse new connections, wake every reader, drop the
+  /// queued remainder, join all threads.  Idempotent.
+  void stop();
+
+  /// Actual bound TCP port (ephemeral binds resolve here); -1 for Unix
+  /// listeners.
+  int tcp_port() const { return bound_port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  timing::SnapshotStore& store() { return store_; }
+  ServeCounters counters() const;
+
+  /// The "server" object of `stats` responses: counters plus live
+  /// queue depth and open-client count.
+  obs::json::Value stats_json() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t client = 0;
+    std::thread reader;
+    std::mutex write_mutex;
+    std::atomic<std::size_t> inflight{0};
+    std::atomic<bool> done{false};
+  };
+
+  struct Task {
+    std::shared_ptr<Connection> conn;
+    std::string line;
+  };
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void worker_loop();
+  void reap_finished_locked();
+  bool write_line(Connection& conn, const std::string& line);
+  void refuse_connection(int fd, const char* why);
+
+  timing::SnapshotStore store_;
+  ServeOptions options_;
+
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex conn_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::uint64_t next_client_ = 0;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+
+  std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
+
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> refused{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> responses_ok{0};
+    std::atomic<std::uint64_t> responses_error{0};
+    std::atomic<std::uint64_t> shed_queue{0};
+    std::atomic<std::uint64_t> shed_inflight{0};
+    std::atomic<std::uint64_t> oversize{0};
+    std::atomic<std::uint64_t> idle_closed{0};
+    std::atomic<std::uint64_t> accept_faults{0};
+    std::atomic<std::uint64_t> write_failures{0};
+  };
+  AtomicCounters counters_;
+};
+
+}  // namespace awesim::serve

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "check/lint.h"
+#include "core/cancel.h"
 #include "core/fault.h"
 #include "core/parallel.h"
 #include "obs/trace.h"
@@ -89,6 +90,11 @@ TimingReport analyze_design(const Design& design,
                             const AnalysisOptions& options,
                             StageCache* cache) {
   const auto t_start = std::chrono::steady_clock::now();
+  if (options.cancel != nullptr) options.cancel->check("timing.analyze");
+  // Eviction window: StageCache counters are cumulative over the cache's
+  // lifetime; the report carries only the evictions this analysis caused.
+  const std::uint64_t evictions_before =
+      cache != nullptr ? cache->counters().evictions : 0;
   // Phase breakdown window: everything this analysis records, process-wide.
   // Concurrent analyses would fold into each other's windows; the span
   // *counts* stay a pure function of the work this call performed only
@@ -191,6 +197,7 @@ TimingReport analyze_design(const Design& design,
       static_cast<std::size_t>(std::max(0, options.threads)));
 
   for (const auto& wave : waves) {
+    if (options.cancel != nullptr) options.cancel->check("timing.wave");
     // Gather this wavefront's stages; all inputs are final.
     std::vector<StageJob> jobs;
     for (const auto& gate_name : wave) {
@@ -255,14 +262,30 @@ TimingReport analyze_design(const Design& design,
       }
     }
 
+    // Budget accounting happens serially, before any parallel work:
+    // one unit per stage this wave will actually evaluate (cache-served
+    // stages are free), so a BudgetExceeded trip is a deterministic
+    // function of the work sequence and fires before the wave starts.
+    if (options.cancel != nullptr) {
+      std::uint64_t evals = 0;
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!served[i]) ++evals;
+      }
+      if (evals > 0) options.cancel->charge("timing.stage", evals);
+    }
+
     // Evaluate the misses concurrently into per-stage slots.  Each job
     // is its own fault domain: anything thrown (singular MNA, injected
     // fault) is caught here, the stage degrades to the analytic Elmore
     // bound, and the rest of the wavefront proceeds untouched.  The
     // injection and the fallback are pure functions of the stage itself,
-    // so the report stays bit-identical across thread counts.
+    // so the report stays bit-identical across thread counts.  The
+    // deadline check sits *outside* the fault domain: a cancelled stage
+    // must abort the analysis with its DeadlineExceeded record, not
+    // degrade to an Elmore bound that looks like an answer.
     pool.parallel_for(jobs.size(), [&](std::size_t i) {
       if (served[i]) return;
+      if (options.cancel != nullptr) options.cancel->check("timing.stage");
       AWESIM_TRACE_SPAN("parallel.job");
       const StageJob& job = jobs[i];
       try {
@@ -399,6 +422,10 @@ TimingReport analyze_design(const Design& design,
     report.worst_slack_endpoint = graph.worst_endpoint();
   }
 
+  if (cache != nullptr) {
+    report.awe_stats.cache_evictions =
+        cache->counters().evictions - evictions_before;
+  }
   report.awe_stats.phases = obs::since(phases_before);
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -40,6 +40,10 @@
 #include "core/engine.h"
 #include "core/stats.h"
 
+namespace awesim::core {
+class CancelToken;
+}
+
 namespace awesim::timing {
 
 /// Linearized switching gate (the Section II MOSFET approximation).
@@ -125,6 +129,20 @@ struct AnalysisOptions {
   /// criticality relative to the critical path.  Set a clock period to
   /// get real signed slacks (and meaningful what-if slack deltas).
   double required_time = std::numeric_limits<double>::quiet_NaN();
+
+  /// Cooperative cancellation (core/cancel.h), consulted at wavefront
+  /// and stage granularity: per-stage deadline checks before each
+  /// evaluation, budget charges (one unit per stage actually evaluated,
+  /// cache-served stages are free) in the serial pre-pass.  nullptr --
+  /// the default -- runs unbounded.  A token that never trips leaves
+  /// the report bit-identical to an un-tokened run; a tripped token
+  /// aborts the analysis with a DeadlineExceeded/BudgetExceeded
+  /// DiagnosticError and leaves any attached stage cache valid (only
+  /// fully evaluated stages are ever published).  Deliberately absent
+  /// from every cache key, like `threads`: the token describes the
+  /// request, not the answer.  Non-owning; the caller keeps the token
+  /// alive for the duration of the call.
+  core::CancelToken* cancel = nullptr;
 };
 
 struct SinkTiming {

@@ -7,6 +7,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/cancel.h"
+
 namespace awesim::timing {
 
 namespace {
@@ -146,6 +148,7 @@ PathsResult k_worst_paths(const TimingGraph& graph, const PathQuery& query) {
       result.truncated = true;
       break;
     }
+    if (query.cancel != nullptr) query.cancel->charge("paths.expand");
     ++result.expansions;
     Candidate c = heap.top();
     heap.pop();

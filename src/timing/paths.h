@@ -38,6 +38,10 @@
 
 #include "timing/graph.h"
 
+namespace awesim::core {
+class CancelToken;
+}
+
 namespace awesim::timing {
 
 struct PathQuery {
@@ -52,6 +56,15 @@ struct PathQuery {
   /// Search cap: total candidate expansions before giving up (only
   /// reachable with adversarial through-filters on dense graphs).
   std::size_t max_expansions = 1u << 20;
+  /// Cooperative cancellation (core/cancel.h), consulted once per
+  /// candidate expansion: deadline checks plus one budget unit per
+  /// expansion.  Unlike max_expansions -- which truncates and returns a
+  /// correct prefix -- a tripped token throws DiagnosticError
+  /// (DeadlineExceeded/BudgetExceeded): the service layer's contract is
+  /// a structured error, not a silently shorter answer.  nullptr runs
+  /// unbounded; results are identical when the token never trips.
+  /// Non-owning; must outlive the query call.
+  core::CancelToken* cancel = nullptr;
 };
 
 struct PathPoint {

@@ -8,9 +8,14 @@
 namespace awesim::timing {
 
 Session::Session(Design design, AnalysisOptions options)
+    : Session(std::move(design), options, nullptr) {}
+
+Session::Session(Design design, AnalysisOptions options,
+                 std::shared_ptr<detail::StageCache> cache)
     : design_(std::move(design)),
       options_(options),
-      cache_(std::make_unique<detail::StageCache>()) {}
+      cache_(cache != nullptr ? std::move(cache)
+                              : std::make_shared<detail::StageCache>()) {}
 
 Session::~Session() = default;
 Session::Session(Session&&) noexcept = default;

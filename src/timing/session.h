@@ -87,6 +87,19 @@ class Session {
  public:
   /// Takes its own copy of the design; the session mutates that copy.
   explicit Session(Design design, AnalysisOptions options = {});
+
+  /// Shares a StageCache with other sessions instead of owning one --
+  /// the generation-stamped snapshot store (timing/snapshot.h) builds a
+  /// private Session per snapshot/request over one process-wide cache,
+  /// so every reader and every new generation stays warm.  Safe because
+  /// cache keys are content-addressed (two sessions can never alias
+  /// different circuits under one key) and every StageCache operation is
+  /// internally locked; with *concurrent* analyses the hit/miss/eviction
+  /// counters become schedule-dependent, but the timing payload is
+  /// bit-identical regardless of who warmed which entry.  A nullptr
+  /// cache is replaced with a fresh private one.
+  Session(Design design, AnalysisOptions options,
+          std::shared_ptr<detail::StageCache> cache);
   ~Session();
   Session(Session&&) noexcept;
   Session& operator=(Session&&) noexcept;
@@ -168,7 +181,7 @@ class Session {
 
   Design design_;
   AnalysisOptions options_;
-  std::unique_ptr<detail::StageCache> cache_;
+  std::shared_ptr<detail::StageCache> cache_;
 };
 
 }  // namespace awesim::timing

@@ -1,0 +1,483 @@
+// The live daemon (src/serve/server.h) over real sockets: happy paths on
+// TCP and Unix listeners, connection survival after malformed lines,
+// cancellation that leaves the shared cache valid, overload shedding,
+// connection refusal, idle-client reaping, the fault matrix under
+// concurrent load (the ISSUE's acceptance criterion), and the installed
+// `awesim_serve` binary in --stdio mode.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fault.h"
+#include "obs/json.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "timing/snapshot.h"
+
+namespace awesim {
+namespace {
+
+namespace json = obs::json;
+using core::FaultRule;
+using core::ScopedFaultInjection;
+
+timing::AnalysisOptions serial_options() {
+  timing::AnalysisOptions opt;
+  opt.threads = 1;
+  return opt;
+}
+
+/// Blocking NDJSON client speaking to a listener over TCP or Unix.
+class Client {
+ public:
+  static Client tcp(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    const int rc =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    EXPECT_EQ(rc, 0) << "tcp connect to 127.0.0.1:" << port;
+    return Client(fd);
+  }
+
+  static Client unix_socket(const std::string& path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    const int rc =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    EXPECT_EQ(rc, 0) << "unix connect to " << path;
+    return Client(fd);
+  }
+
+  ~Client() { close(); }
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool send_line(const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + off,
+                               framed.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Next response line; empty string on EOF/error.
+  std::string recv_line() {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string roundtrip(const std::string& line) {
+    EXPECT_TRUE(send_line(line));
+    return recv_line();
+  }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Asserts the response is one well-formed schema line; returns it parsed.
+json::Value require_response(const std::string& line) {
+  EXPECT_FALSE(line.empty()) << "connection dropped instead of responding";
+  json::Value doc = json::parse(line);
+  EXPECT_TRUE(doc.is_object());
+  const json::Value* ok = doc.find("ok");
+  EXPECT_NE(ok, nullptr);
+  EXPECT_TRUE(ok != nullptr && ok->is_bool());
+  if (ok != nullptr && ok->is_bool() && !ok->as_bool()) {
+    const json::Value* error = doc.find("error");
+    EXPECT_NE(error, nullptr);
+    if (error != nullptr) {
+      EXPECT_TRUE(error->is_object());
+      EXPECT_NE(error->find("code"), nullptr);
+    }
+  }
+  return doc;
+}
+
+bool response_ok(const json::Value& doc) {
+  const json::Value* ok = doc.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+/// An analyze result minus its `stats` cost counters (which reflect work
+/// actually performed and naturally differ warm vs. cold); everything
+/// else is the bit-identity contract.
+std::string timing_fingerprint(const json::Value& response) {
+  const json::Value* result = response.find("result");
+  if (result == nullptr || !result->is_object()) return "";
+  json::Value stripped = json::Value::object();
+  for (const auto& [key, value] : result->items()) {
+    if (key != "stats") stripped.set(key, value);
+  }
+  return stripped.dump();
+}
+
+std::string error_code(const json::Value& doc) {
+  const json::Value* error = doc.find("error");
+  if (error == nullptr) return "";
+  const json::Value* code = error->find("code");
+  return code != nullptr && code->is_string() ? code->as_string() : "";
+}
+
+serve::ServeOptions tcp_options() {
+  serve::ServeOptions opts;
+  opts.tcp_port = 0;  // ephemeral
+  opts.workers = 2;
+  return opts;
+}
+
+TEST(ServeDaemon, TcpHappyPath) {
+  serve::Server server(serve::builtin_design("chain4"), serial_options(),
+                       tcp_options());
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+  EXPECT_TRUE(response_ok(
+      require_response(client.roundtrip(R"({"id":1,"method":"ping"})"))));
+  EXPECT_TRUE(response_ok(require_response(
+      client.roundtrip(R"({"id":2,"method":"analyze"})"))));
+  const json::Value stats =
+      require_response(client.roundtrip(R"({"id":3,"method":"stats"})"));
+  EXPECT_TRUE(response_ok(stats));
+  const json::Value* result = stats.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_NE(result->find("server"), nullptr)
+      << "daemon stats must carry the server counters";
+  server.stop();
+}
+
+TEST(ServeDaemon, UnixSocketHappyPath) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("awesim_serve_test_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  serve::ServeOptions opts;
+  opts.unix_path = path;
+  opts.workers = 1;
+  serve::Server server(serve::builtin_design("chain4"), serial_options(),
+                       opts);
+  server.start();
+  {
+    Client client = Client::unix_socket(path);
+    EXPECT_TRUE(response_ok(
+        require_response(client.roundtrip(R"({"id":1,"method":"ping"})"))));
+  }
+  server.stop();
+  EXPECT_FALSE(std::filesystem::exists(path))
+      << "stop() must unlink the unix socket";
+}
+
+TEST(ServeDaemon, MalformedLineKeepsConnectionUsable) {
+  serve::Server server(serve::builtin_design("chain4"), serial_options(),
+                       tcp_options());
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+  const json::Value bad =
+      require_response(client.roundtrip(R"({"id": 1, "method": )"));
+  EXPECT_FALSE(response_ok(bad));
+  EXPECT_EQ(error_code(bad), "invalid-request");
+  // The same connection keeps working -- one bad line costs one error
+  // response, never the session.
+  EXPECT_TRUE(response_ok(
+      require_response(client.roundtrip(R"({"id":2,"method":"ping"})"))));
+  server.stop();
+}
+
+TEST(ServeDaemon, CancelledRequestLeavesCacheValid) {
+  serve::Server server(serve::builtin_design("chain12"), serial_options(),
+                       tcp_options());
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+  const json::Value shed = require_response(client.roundtrip(
+      R"({"id":1,"method":"analyze","params":{"stage_budget":2}})"));
+  EXPECT_FALSE(response_ok(shed));
+  EXPECT_EQ(error_code(shed), "budget-exceeded");
+  // Follow-up warm query must succeed and match a cold daemon on the
+  // same design bit-for-bit (the acceptance criterion: cancellation
+  // never corrupts the stage cache).
+  const json::Value warm = require_response(
+      client.roundtrip(R"({"id":2,"method":"analyze"})"));
+  ASSERT_TRUE(response_ok(warm));
+  server.stop();
+
+  serve::Server cold_server(serve::builtin_design("chain12"),
+                            serial_options(), tcp_options());
+  cold_server.start();
+  Client cold_client = Client::tcp(cold_server.tcp_port());
+  const json::Value cold = require_response(
+      cold_client.roundtrip(R"({"id":2,"method":"analyze"})"));
+  ASSERT_TRUE(response_ok(cold));
+  cold_server.stop();
+  const std::string warm_print = timing_fingerprint(warm);
+  ASSERT_FALSE(warm_print.empty());
+  EXPECT_EQ(warm_print, timing_fingerprint(cold));
+}
+
+TEST(ServeDaemon, ShedsUnderTinyQueueWithRetryAfter) {
+  serve::ServeOptions opts = tcp_options();
+  opts.workers = 1;
+  opts.max_queue = 1;
+  opts.max_inflight_per_client = 2;
+  serve::Server server(serve::builtin_design("chain12"), serial_options(),
+                       opts);
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+  constexpr int kBurst = 24;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client.send_line(
+        R"({"id":)" + std::to_string(i) + R"(,"method":"analyze"})"));
+  }
+  int ok = 0, shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const json::Value doc = require_response(client.recv_line());
+    if (response_ok(doc)) {
+      ++ok;
+    } else {
+      EXPECT_EQ(error_code(doc), "server-overloaded");
+      const json::Value* retry = doc.find("retry_after_ms");
+      EXPECT_NE(retry, nullptr)
+          << "shed responses must carry the retry hint";
+      if (retry != nullptr) {
+        EXPECT_GT(retry->as_number(), 0.0);
+      }
+      ++shed;
+    }
+  }
+  EXPECT_GT(ok, 0) << "admission must not starve entirely";
+  EXPECT_GT(shed, 0) << "a 24-deep burst against queue=1/inflight=2 "
+                        "must shed";
+  const serve::ServeCounters c = server.counters();
+  EXPECT_EQ(c.shed_queue + c.shed_inflight,
+            static_cast<std::uint64_t>(shed));
+  // The connection survives shedding.
+  EXPECT_TRUE(response_ok(
+      require_response(client.roundtrip(R"({"id":99,"method":"ping"})"))));
+  server.stop();
+}
+
+TEST(ServeDaemon, RefusesConnectionsOverClientLimit) {
+  serve::ServeOptions opts = tcp_options();
+  opts.max_clients = 1;
+  serve::Server server(serve::builtin_design("chain4"), serial_options(),
+                       opts);
+  server.start();
+  Client first = Client::tcp(server.tcp_port());
+  EXPECT_TRUE(response_ok(
+      require_response(first.roundtrip(R"({"id":1,"method":"ping"})"))));
+  Client second = Client::tcp(server.tcp_port());
+  const json::Value refused = require_response(second.recv_line());
+  EXPECT_FALSE(response_ok(refused));
+  EXPECT_EQ(error_code(refused), "server-overloaded");
+  EXPECT_NE(refused.find("retry_after_ms"), nullptr);
+  // The admitted client is unaffected.
+  EXPECT_TRUE(response_ok(
+      require_response(first.roundtrip(R"({"id":2,"method":"ping"})"))));
+  server.stop();
+}
+
+TEST(ServeDaemon, IdleClientIsDisconnected) {
+  serve::ServeOptions opts = tcp_options();
+  opts.idle_timeout_s = 0.3;
+  serve::Server server(serve::builtin_design("chain4"), serial_options(),
+                       opts);
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+  EXPECT_TRUE(response_ok(
+      require_response(client.roundtrip(R"({"id":1,"method":"ping"})"))));
+  // Send nothing; the reader's SO_RCVTIMEO reaps us.  recv_line returns
+  // empty on the resulting EOF.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(client.recv_line(), "");
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(waited, 10.0) << "idle reap must not hang";
+  EXPECT_GE(server.counters().idle_closed, 1u);
+  server.stop();
+}
+
+// The acceptance criterion: every fault probe in the serve and engine
+// layers, fired under >= 8 concurrent clients, yields only well-formed
+// JSON error responses -- and the daemon still serves afterwards.
+TEST(ServeDaemon, FaultMatrixUnderConcurrentLoad) {
+  struct Site {
+    const char* site;
+    const char* key;
+  };
+  const Site sites[] = {
+      {"serve.parse", "*"},    {"serve.dispatch", "analyze"},
+      {"timing.stage", "*"},   {"parallel.job", "*"},
+      {"session.cache", "*"},  {"engine.unstable", "*"},
+      {"engine.moments", "*"}, {"mna.factor", "*"},
+      {"pade.hankel", "*"},
+  };
+  serve::ServeOptions opts = tcp_options();
+  opts.workers = 4;
+  opts.max_queue = 256;
+  opts.max_clients = 16;
+  serve::Server server(serve::builtin_design("chain8"), serial_options(),
+                       opts);
+  server.start();
+  const int port = server.tcp_port();
+
+  for (const Site& site : sites) {
+    ScopedFaultInjection scoped({{site.site, site.key, -1}});
+    constexpr int kClients = 8;
+    constexpr int kRequests = 4;
+    std::atomic<int> malformed{0};
+    std::atomic<int> dropped{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+      threads.emplace_back([port, &malformed, &dropped, t] {
+        Client client = Client::tcp(port);
+        const char* lines[] = {
+            R"({"id":1,"method":"analyze"})",
+            R"({"id":2,"method":"worst_paths","params":{"k":2}})",
+            R"({"id":3,"method":"stats"})",
+            R"({"id":4,"method":"sweep","params":{
+                "kind":"drive_resistance","name":"g0",
+                "values":[100.0,200.0]}})",
+        };
+        for (int i = 0; i < kRequests; ++i) {
+          const std::string response =
+              client.roundtrip(lines[(t + i) % 4]);
+          if (response.empty()) {
+            ++dropped;
+            return;
+          }
+          try {
+            const json::Value doc = json::parse(response);
+            if (!doc.is_object() || doc.find("ok") == nullptr) ++malformed;
+          } catch (const json::ParseError&) {
+            ++malformed;
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    EXPECT_EQ(malformed.load(), 0)
+        << site.site << ": a fault leaked a malformed response line";
+    EXPECT_EQ(dropped.load(), 0)
+        << site.site << ": a fault dropped a connection mid-request";
+  }
+
+  // serve.accept is special: the connection is refused, but with a
+  // structured response -- and other clients keep being admitted.
+  {
+    ScopedFaultInjection scoped({{"serve.accept", "*", 1}});
+    Client victim = Client::tcp(port);
+    const json::Value refused = require_response(victim.recv_line());
+    EXPECT_FALSE(response_ok(refused));
+    EXPECT_EQ(error_code(refused), "server-overloaded");
+    Client survivor = Client::tcp(port);
+    EXPECT_TRUE(response_ok(require_response(
+        survivor.roundtrip(R"({"id":1,"method":"ping"})"))));
+  }
+  EXPECT_GE(server.counters().accept_faults, 1u);
+
+  // All probes disarmed: the daemon is healthy, not merely alive.
+  Client after = Client::tcp(port);
+  EXPECT_TRUE(response_ok(
+      require_response(after.roundtrip(R"({"id":1,"method":"analyze"})"))));
+  server.stop();
+}
+
+TEST(ServeDaemon, ShutdownMethodStopsTheServer) {
+  serve::Server server(serve::builtin_design("chain4"), serial_options(),
+                       tcp_options());
+  server.start();
+  std::thread waiter([&server] { server.wait(); });
+  Client client = Client::tcp(server.tcp_port());
+  const json::Value doc = require_response(
+      client.roundtrip(R"({"id":1,"method":"shutdown"})"));
+  EXPECT_TRUE(response_ok(doc));
+  waiter.join();  // wait() returns because the client asked
+  server.stop();
+}
+
+// The installed binary end to end: --stdio mode feeds stdin lines
+// through the identical handle_line path and exits on shutdown.
+TEST(ServeBinary, StdioModeRoundTrip) {
+  const std::filesystem::path dir = std::filesystem::temp_directory_path();
+  const std::string in_path =
+      (dir / ("awesim_serve_in_" + std::to_string(::getpid()))).string();
+  const std::string out_path =
+      (dir / ("awesim_serve_out_" + std::to_string(::getpid()))).string();
+  {
+    std::ofstream in(in_path);
+    in << R"({"id":1,"method":"ping"})" << "\n"
+       << R"({"id": 2, "method": )" << "\n"  // malformed mid-stream
+       << R"({"id":3,"method":"analyze"})" << "\n"
+       << R"({"id":4,"method":"shutdown"})" << "\n";
+  }
+  const std::string cmd = std::string(AWESIM_SERVE_BIN) +
+                          " --stdio --design chain4 < " + in_path + " > " +
+                          out_path;
+  const int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0) << cmd;
+  std::ifstream out(out_path);
+  ASSERT_TRUE(out.is_open());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(out, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_TRUE(response_ok(require_response(lines[0])));
+  EXPECT_EQ(error_code(require_response(lines[1])), "invalid-request");
+  EXPECT_TRUE(response_ok(require_response(lines[2])));
+  EXPECT_TRUE(response_ok(require_response(lines[3])));
+  std::filesystem::remove(in_path);
+  std::filesystem::remove(out_path);
+}
+
+}  // namespace
+}  // namespace awesim
