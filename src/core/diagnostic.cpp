@@ -28,6 +28,7 @@ const char* to_string(DiagCode code) {
     case DiagCode::StageDegraded: return "stage-degraded";
     case DiagCode::StageFailed: return "stage-failed";
     case DiagCode::CacheInvalidated: return "cache-invalidated";
+    case DiagCode::LowRankDrift: return "low-rank-drift";
     case DiagCode::DeadlineExceeded: return "deadline-exceeded";
     case DiagCode::BudgetExceeded: return "budget-exceeded";
     case DiagCode::InvalidRequest: return "invalid-request";

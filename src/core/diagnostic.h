@@ -52,6 +52,7 @@ enum class DiagCode {
   StageDegraded,    // a stage answered with a degraded (flagged) estimate
   StageFailed,      // a stage could not be approximated; bound substituted
   CacheInvalidated, // a session cache entry failed verification; recomputed
+  LowRankDrift,     // low-rank warm path refused; full refactorization ran
   // Request lifecycle (timing-as-a-service; see src/serve and
   // core/cancel.h).  These describe the *request*, never the design:
   // a deadline-exceeded analysis left no partial results behind.

@@ -15,6 +15,8 @@ Stats& Stats::operator+=(const Stats& other) {
   stages_reused += other.stages_reused;
   stages_recomputed += other.stages_recomputed;
   cache_evictions += other.cache_evictions;
+  low_rank_points += other.low_rank_points;
+  low_rank_refactorizations += other.low_rank_refactorizations;
   lint_errors += other.lint_errors;
   lint_warnings += other.lint_warnings;
   window_shifts += other.window_shifts;
@@ -40,6 +42,8 @@ Stats& Stats::operator-=(const Stats& other) {
   stages_reused -= other.stages_reused;
   stages_recomputed -= other.stages_recomputed;
   cache_evictions -= other.cache_evictions;
+  low_rank_points -= other.low_rank_points;
+  low_rank_refactorizations -= other.low_rank_refactorizations;
   lint_errors -= other.lint_errors;
   lint_warnings -= other.lint_warnings;
   window_shifts -= other.window_shifts;
@@ -100,9 +104,16 @@ std::string Stats::summary() const {
   }
   if (cache_evictions > 0 && n > 0 &&
       static_cast<std::size_t>(n) < sizeof buf) {
+    n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                       " | %llu evicted",
+                       static_cast<unsigned long long>(cache_evictions));
+  }
+  if (low_rank_points + low_rank_refactorizations > 0 && n > 0 &&
+      static_cast<std::size_t>(n) < sizeof buf) {
     std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
-                  " | %llu evicted",
-                  static_cast<unsigned long long>(cache_evictions));
+                  " | low-rank %llu point, %llu refactor",
+                  static_cast<unsigned long long>(low_rank_points),
+                  static_cast<unsigned long long>(low_rank_refactorizations));
   }
   return buf;
 }

@@ -1,0 +1,122 @@
+#include "la/low_rank.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/fault.h"
+
+namespace awesim::la {
+
+LowRankSolver::LowRankSolver(std::size_t dim, BaseSolve base,
+                             BaseSolveMulti base_multi, LowRankOptions options)
+    : dim_(dim),
+      base_(std::move(base)),
+      base_multi_(std::move(base_multi)),
+      options_(options) {
+  if (dim_ == 0) {
+    throw std::invalid_argument("LowRankSolver: zero-dimensional base");
+  }
+  if (!base_ || !base_multi_) {
+    throw std::invalid_argument("LowRankSolver: null base solve");
+  }
+}
+
+bool LowRankSolver::add_update(const RankOneUpdate& update) {
+  if (core::fault_at("la.lowrank", std::to_string(dim_))) return false;
+  bool u_zero = true;
+  bool v_zero = true;
+  for (const auto& [idx, val] : update.u) {
+    if (idx >= dim_) return false;
+    if (val != 0.0) u_zero = false;
+  }
+  for (const auto& [idx, val] : update.v) {
+    if (idx >= dim_) return false;
+    if (val != 0.0) v_zero = false;
+  }
+  // A vanishing u or v leaves A unchanged: rank-0, accepted for free.
+  if (u_zero || v_zero) return true;
+  if (z_.size() >= options_.max_rank) return false;
+
+  // New column z = A0^-1 u.
+  RealVector u_dense(dim_, 0.0);
+  for (const auto& [idx, val] : update.u) u_dense[idx] += val;
+  RealVector z = base_(u_dense);
+  for (const double x : z) {
+    if (!std::isfinite(x)) return false;
+  }
+
+  // Tentatively extend and rebuild the capacitance matrix
+  // C = I + V^T Z, C[a][b] = delta(a,b) + sum_i v_a[i] * z_b[i].
+  z_.push_back(std::move(z));
+  v_.push_back(update.v);
+  const std::size_t k = z_.size();
+  RealMatrix cap(k, k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      double acc = a == b ? 1.0 : 0.0;
+      for (const auto& [idx, val] : v_[a]) acc += val * z_[b][idx];
+      cap(a, b) = acc;
+    }
+  }
+  double cap_norm = 0.0;
+  for (std::size_t a = 0; a < k; ++a) {
+    double row = 0.0;
+    for (std::size_t b = 0; b < k; ++b) row += std::abs(cap(a, b));
+    cap_norm = std::max(cap_norm, row);
+  }
+  std::shared_ptr<const Lu<double>> cap_lu;
+  try {
+    cap_lu = std::make_shared<const Lu<double>>(cap);
+  } catch (const SingularMatrixError&) {
+    z_.pop_back();
+    v_.pop_back();
+    return false;
+  }
+  // Drift watchdog: a blowing-up condition estimate of I + V^T Z means
+  // the accumulated corrections are near-cancelling and the Woodbury
+  // solve is losing digits -- refuse so the caller refactorizes.
+  const double cond = cap_lu->condition_estimate(cap_norm);
+  if (!std::isfinite(cond) || cond > options_.condition_threshold) {
+    z_.pop_back();
+    v_.pop_back();
+    return false;
+  }
+  cap_ = std::move(cap_lu);
+  return true;
+}
+
+void LowRankSolver::correct(RealVector& x) const {
+  const std::size_t k = z_.size();
+  RealVector w(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    double acc = 0.0;
+    for (const auto& [idx, val] : v_[j]) acc += val * x[idx];
+    w[j] = acc;
+  }
+  const RealVector y = cap_->solve(w);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double yj = y[j];
+    if (yj == 0.0) continue;
+    const RealVector& zj = z_[j];
+    for (std::size_t i = 0; i < dim_; ++i) x[i] -= zj[i] * yj;
+  }
+}
+
+RealVector LowRankSolver::solve(const RealVector& b) const {
+  RealVector x = base_(b);
+  if (!z_.empty()) correct(x);
+  return x;
+}
+
+std::vector<RealVector> LowRankSolver::solve_multi(
+    const std::vector<RealVector>& bs) const {
+  std::vector<RealVector> xs = base_multi_(bs);
+  if (!z_.empty()) {
+    for (RealVector& x : xs) correct(x);
+  }
+  return xs;
+}
+
+}  // namespace awesim::la

@@ -1,0 +1,110 @@
+// Sherman-Morrison-Woodbury corrections on top of a frozen base solve.
+//
+// A LowRankSolver owns no factorization of its own.  It wraps a base
+// solve x = A0^-1 b (typically a cached LU shared by many consumers) and
+// accumulates rank-1 updates A = A0 + sum_j u_j v_j^T.  Solves go through
+// the Woodbury identity
+//
+//     x = A^-1 b = x0 - Z (I + V^T Z)^-1 V^T x0,     x0 = A0^-1 b,
+//
+// where Z = A0^-1 U is computed column-by-column as updates arrive and
+// the k-by-k capacitance matrix I + V^T Z is refactored (dense LU) on
+// every accepted update -- k stays tiny (max_rank defaults to 8), so the
+// refactorization is O(k^3) with k <= 8, never O(n^3).
+//
+// add_update() is allowed to REFUSE.  It returns false -- leaving the
+// solver exactly as it was -- when accepting the update would make the
+// correction numerically untrustworthy:
+//
+//   * the accumulated rank would exceed LowRankOptions::max_rank;
+//   * the updated capacitance matrix is singular or its condition
+//     estimate exceeds LowRankOptions::condition_threshold (the drift
+//     watchdog: near-cancelling or wildly scaled updates inflate
+//     kappa(I + V^T Z) long before the corrected solve goes visibly
+//     wrong, so the threshold converts silent drift into an explicit
+//     full-refactorization request);
+//   * the fault-injection probe `la.lowrank` fires (tests use this to
+//     prove callers really do fall back to a fresh factorization).
+//
+// A refusal is not an error: the caller factorizes A from scratch, which
+// is always correct, and typically re-seeds a new LowRankSolver from the
+// fresh factorization.  Updates with no effect on A (all-zero u or v)
+// are accepted as rank-0 and consume no rank budget.
+#ifndef AWESIM_LA_LOW_RANK_H
+#define AWESIM_LA_LOW_RANK_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "la/lu.h"
+#include "la/matrix.h"
+
+namespace awesim::la {
+
+/// One rank-1 term u v^T in sparse (index, value) form.  Indices are
+/// 0-based rows/columns of the base matrix; duplicates accumulate.
+struct RankOneUpdate {
+  std::vector<std::pair<std::size_t, double>> u;
+  std::vector<std::pair<std::size_t, double>> v;
+};
+
+struct LowRankOptions {
+  /// Accumulated rank beyond which add_update() refuses and the caller
+  /// must refactorize in full.
+  std::size_t max_rank = 8;
+  /// Condition-estimate ceiling for the k-by-k capacitance matrix
+  /// I + V^T Z -- the drift watchdog.
+  double condition_threshold = 1e8;
+};
+
+class LowRankSolver {
+ public:
+  using BaseSolve = std::function<RealVector(const RealVector&)>;
+  using BaseSolveMulti =
+      std::function<std::vector<RealVector>(const std::vector<RealVector>&)>;
+
+  /// `base` must solve A0 x = b for the frozen base matrix; `base_multi`
+  /// is the batched form (may simply loop over `base`).  Both must stay
+  /// valid for the lifetime of this solver.
+  LowRankSolver(std::size_t dim, BaseSolve base, BaseSolveMulti base_multi,
+                LowRankOptions options = {});
+
+  /// Accepts the update (returns true) or refuses it (returns false)
+  /// leaving the solver untouched.  See the header comment for the
+  /// refusal conditions.
+  bool add_update(const RankOneUpdate& update);
+
+  /// Woodbury-corrected solve of (A0 + U V^T) x = b.
+  RealVector solve(const RealVector& b) const;
+
+  /// Batched corrected solve; per-RHS results are bitwise identical to
+  /// calling solve() on each vector alone.
+  std::vector<RealVector> solve_multi(const std::vector<RealVector>& bs) const;
+
+  /// Accumulated correction rank (rank-0 updates do not count).
+  std::size_t rank() const { return z_.size(); }
+  std::size_t size() const { return dim_; }
+
+ private:
+  /// Applies the -Z (I + V^T Z)^-1 V^T x0 correction to x in place.
+  void correct(RealVector& x) const;
+
+  std::size_t dim_;
+  BaseSolve base_;
+  BaseSolveMulti base_multi_;
+  LowRankOptions options_;
+  /// Columns of Z = A0^-1 U, dense, one per accepted rank-1 update.
+  std::vector<RealVector> z_;
+  /// Sparse v rows of the accepted updates, same order as z_.
+  std::vector<std::vector<std::pair<std::size_t, double>>> v_;
+  /// Dense LU of the k-by-k capacitance matrix I + V^T Z; rebuilt on
+  /// every accepted update, shared so copies of the solver stay cheap.
+  std::shared_ptr<const Lu<double>> cap_;
+};
+
+}  // namespace awesim::la
+
+#endif  // AWESIM_LA_LOW_RANK_H

@@ -85,6 +85,59 @@ std::vector<T> Lu<T>::solve(const std::vector<T>& b) const {
 }
 
 template <typename T>
+std::vector<std::vector<T>> Lu<T>::solve_multi(
+    const std::vector<std::vector<T>>& bs) const {
+  const std::size_t n = size();
+  constexpr std::size_t kPanel = 8;
+  // Panel scratch, column-major (column r at panel + r*n), reused across
+  // panels and calls so the hot path never touches the allocator.
+  static thread_local std::vector<T> arena;
+  if (arena.size() < n * kPanel) arena.resize(n * kPanel);
+  T* const panel = arena.data();
+
+  std::vector<std::vector<T>> xs(bs.size());
+  for (std::size_t b0 = 0; b0 < bs.size(); b0 += kPanel) {
+    const std::size_t width = std::min(kPanel, bs.size() - b0);
+    for (std::size_t r = 0; r < width; ++r) {
+      const std::vector<T>& b = bs[b0 + r];
+      if (b.size() != n) {
+        throw std::invalid_argument("Lu::solve_multi: rhs size mismatch");
+      }
+      T* const col = panel + r * n;
+      for (std::size_t i = 0; i < n; ++i) col[i] = b[perm_[i]];
+    }
+    // Forward with unit-lower L: each factor row is read once and
+    // applied to every right-hand side in the panel.  The per-RHS
+    // operation sequence matches solve() exactly.
+    for (std::size_t i = 1; i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        const T lij = lu_(i, j);
+        for (std::size_t r = 0; r < width; ++r) {
+          panel[r * n + i] -= lij * panel[r * n + j];
+        }
+      }
+    }
+    // Back substitution with U.
+    for (std::size_t ii = n; ii-- > 0;) {
+      for (std::size_t j = ii + 1; j < n; ++j) {
+        const T uij = lu_(ii, j);
+        for (std::size_t r = 0; r < width; ++r) {
+          panel[r * n + ii] -= uij * panel[r * n + j];
+        }
+      }
+      const T diag = lu_(ii, ii);
+      for (std::size_t r = 0; r < width; ++r) {
+        panel[r * n + ii] = panel[r * n + ii] / diag;
+      }
+    }
+    for (std::size_t r = 0; r < width; ++r) {
+      xs[b0 + r].assign(panel + r * n, panel + (r + 1) * n);
+    }
+  }
+  return xs;
+}
+
+template <typename T>
 std::vector<T> Lu<T>::solve_transposed(const std::vector<T>& b) const {
   const std::size_t n = size();
   if (b.size() != n) {

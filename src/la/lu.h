@@ -45,6 +45,14 @@ class Lu {
   /// Solve A x = b.  b.size() must equal size().
   std::vector<T> solve(const std::vector<T>& b) const;
 
+  /// Batched solve with cache-blocked panels: the factor's rows are
+  /// streamed once per panel of up to 8 right-hand sides instead of once
+  /// per vector.  Per-RHS results are bitwise identical to solve() --
+  /// the arithmetic order within each right-hand side is unchanged, only
+  /// the traversal of the factor is shared.
+  std::vector<std::vector<T>> solve_multi(
+      const std::vector<std::vector<T>>& bs) const;
+
   /// Solve A^T x = b (useful for adjoint/sensitivity analyses).
   std::vector<T> solve_transposed(const std::vector<T>& b) const;
 

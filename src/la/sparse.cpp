@@ -334,4 +334,75 @@ RealVector SparseLu::solve(const RealVector& b) const {
   return x;
 }
 
+std::vector<RealVector> SparseLu::solve_multi(
+    const std::vector<RealVector>& bs) const {
+  constexpr std::size_t kPanel = 8;
+  // Panel scratch (the arena): `work` holds the eagerly updated copies
+  // of b during the forward pass and is reused as z storage during the
+  // backward pass; `ys` holds the forward results.  Column r of a panel
+  // lives at offset r*n_.  thread_local so repeated batched solves on
+  // the hot path never touch the allocator.
+  static thread_local std::vector<double> arena;
+  static thread_local std::vector<std::size_t> pos_to_row;
+  if (arena.size() < 2 * kPanel * n_) arena.resize(2 * kPanel * n_);
+  double* const work = arena.data();
+  double* const ys = arena.data() + kPanel * n_;
+  pos_to_row.resize(n_);
+  for (std::size_t r = 0; r < n_; ++r) pos_to_row[row_perm_[r]] = r;
+
+  std::vector<RealVector> xs(bs.size());
+  for (std::size_t b0 = 0; b0 < bs.size(); b0 += kPanel) {
+    const std::size_t width = std::min(kPanel, bs.size() - b0);
+    for (std::size_t r = 0; r < width; ++r) {
+      const RealVector& b = bs[b0 + r];
+      if (b.size() != n_) {
+        throw std::invalid_argument("SparseLu::solve_multi: rhs size mismatch");
+      }
+      std::copy(b.begin(), b.end(), work + r * n_);
+      std::fill(ys + r * n_, ys + (r + 1) * n_, 0.0);
+    }
+    // Forward in pivot order; each L column's indices/values stay hot
+    // across the panel.  Per-RHS ops (including the zero skip) match
+    // solve() exactly.
+    for (std::size_t c = 0; c < n_; ++c) {
+      const std::size_t prow = pos_to_row[c];
+      const std::size_t begin = l_start_[c];
+      const std::size_t end = l_start_[c + 1];
+      for (std::size_t r = 0; r < width; ++r) {
+        double* const wr = work + r * n_;
+        const double yc = wr[prow];
+        ys[r * n_ + c] = yc;
+        if (yc == 0.0) continue;
+        for (std::size_t p = begin; p < end; ++p) {
+          wr[l_index_[p]] -= l_values_[p] * yc;
+        }
+      }
+    }
+    // Backward: U z = y, diagonal stored last per column.  `work` is
+    // reused as the z panel.
+    for (std::size_t cc = n_; cc-- > 0;) {
+      const std::size_t begin = u_start_[cc];
+      const std::size_t end = u_start_[cc + 1];
+      const double diag = u_values_[end - 1];
+      for (std::size_t r = 0; r < width; ++r) {
+        double* const yr = ys + r * n_;
+        const double zc = yr[cc] / diag;
+        work[r * n_ + cc] = zc;
+        if (zc == 0.0) continue;
+        for (std::size_t p = begin; p + 1 < end; ++p) {
+          yr[u_index_[p]] -= u_values_[p] * zc;
+        }
+      }
+    }
+    for (std::size_t r = 0; r < width; ++r) {
+      RealVector& x = xs[b0 + r];
+      x.assign(n_, 0.0);
+      for (std::size_t c = 0; c < n_; ++c) {
+        x[col_perm_[c]] = work[r * n_ + c];
+      }
+    }
+  }
+  return xs;
+}
+
 }  // namespace awesim::la

@@ -86,6 +86,12 @@ class SparseLu {
   /// Solve A x = b.
   RealVector solve(const RealVector& b) const;
 
+  /// Batched solve with cache-blocked panels: the L/U column structure
+  /// is streamed once per panel of up to 8 right-hand sides.  Per-RHS
+  /// results are bitwise identical to solve() -- identical arithmetic
+  /// order and the same zero-skip short-circuits per vector.
+  std::vector<RealVector> solve_multi(const std::vector<RealVector>& bs) const;
+
   /// Fill-in diagnostics: nonzeros in L + U.
   std::size_t factor_nnz() const {
     return l_values_.size() + u_values_.size();

@@ -9,9 +9,15 @@
 namespace awesim::timing::detail {
 
 KeyBuilder& KeyBuilder::integer(std::uint64_t v) {
+  // One bulk append instead of 8 push_backs: key serialization is the
+  // dominant cost of a warm cache lookup on kilo-element nets.  The
+  // byte order stays explicitly little-endian so keys are identical to
+  // what the per-byte loop produced.
+  char buf[8];
   for (int i = 0; i < 8; ++i) {
-    bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
   }
+  bytes_.append(buf, sizeof buf);
   return *this;
 }
 
@@ -65,6 +71,10 @@ namespace {
 
 void append_content_key(KeyBuilder& kb, const Gate& driver, const Net& net,
                         const std::map<std::string, Gate>& gates) {
+  // ~40 bytes per parasitic (tag + two length-prefixed node names +
+  // value) plus sink records and the fixed sections.
+  kb.reserve(kb.bytes().size() + 48 * net.parasitics.size() +
+             64 * net.sink_node.size() + 128);
   kb.tag('A').number(driver.drive_resistance);
   kb.tag('P').integer(net.parasitics.size());
   for (const auto& e : net.parasitics) {
@@ -122,6 +132,23 @@ std::string stage_result_key(const Gate& driver, const Net& net,
       // stage; one Session serves interleaved queries under several
       // models, so the kind must split the key space.
       .integer(static_cast<std::uint64_t>(options.delay_model));
+  return kb.take();
+}
+
+std::string low_rank_result_key(
+    const std::string& result_key, const std::string& donor_key,
+    const std::vector<std::pair<std::string, double>>& deltas) {
+  KeyBuilder kb;
+  kb.reserve(result_key.size() + donor_key.size() + 32 * deltas.size() + 32);
+  // Exact result keys always open with the content section's 'A' tag;
+  // opening with '\x01' makes the two key spaces disjoint byte one.
+  kb.tag('\x01').tag('L');
+  kb.text(result_key);
+  kb.text(donor_key);
+  kb.integer(deltas.size());
+  for (const auto& [element, base] : deltas) {
+    kb.text(element).number(base);
+  }
   return kb.take();
 }
 

@@ -53,6 +53,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "check/lint.h"
 #include "core/diagnostic.h"
@@ -73,6 +75,10 @@ class KeyBuilder {
   KeyBuilder& integer(std::uint64_t v);
   KeyBuilder& number(double v);
   KeyBuilder& text(std::string_view s);
+
+  /// Pre-size the byte buffer (keys for kilo-element nets reach tens of
+  /// kilobytes; growing a std::string through that is measurable).
+  void reserve(std::size_t n) { bytes_.reserve(n); }
 
   const std::string& bytes() const { return bytes_; }
   std::string take() { return std::move(bytes_); }
@@ -99,6 +105,17 @@ std::string stage_content_key(const Gate& driver, const Net& net,
 std::string stage_result_key(const Gate& driver, const Net& net,
                              const std::map<std::string, Gate>& gates,
                              const AnalysisOptions& options, double in_slew);
+
+/// The solver-kind variant of a result key for Sherman-Morrison-corrected
+/// (low-rank) evaluations.  A corrected result is a deterministic
+/// function of (result key, donor content, value deltas) but only
+/// tolerance-equal to the exact result, so it must live under a key that
+/// can never collide with the exact one -- and, keeping the documented
+/// no-hash-aliasing guarantee, the donor content key and delta list
+/// enter as exact bytes, not as digests.
+std::string low_rank_result_key(
+    const std::string& result_key, const std::string& donor_key,
+    const std::vector<std::pair<std::string, double>>& deltas);
 
 /// One shareable LU factorization of a stage circuit's G, with the
 /// factor-time observables (gmin flag, diagnostics) that

@@ -1,0 +1,455 @@
+// The Sherman-Morrison warm path, bottom to top -- the `numeric`
+// differential tier (ctest -L numeric).
+//
+// Three layers of contract:
+//
+//   * la::LowRankSolver -- Woodbury-corrected solves agree with a full
+//     refactorization of the updated matrix to ULP-scaled bounds; the
+//     blocked multi-RHS substitutions (dense and sparse) are *bitwise*
+//     identical to their one-vector forms; add_update() refuses on rank
+//     cap, drift (condition) watchdog, and the armed `la.lowrank` fault
+//     probe, leaving the solver untouched.
+//
+//   * timing::Session with SessionOptions::low_rank on -- N seeded
+//     circuit families x M mutation sequences, every warm analyze
+//     differentially compared against an exact-refactorization twin
+//     (low_rank = false) within ULP-scaled tolerances, with the warm
+//     path provably engaged (awe_stats.low_rank_points > 0).
+//
+//   * the escape hatch -- low_rank = false stays bit-identical to a
+//     cold Design::analyze(), and a refused update (fault-injected
+//     drift) falls back to full refactorization: still bit-exact, plus
+//     a LowRankDrift diagnostic and low_rank_refactorizations > 0.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "la/low_rank.h"
+#include "la/lu.h"
+#include "la/sparse.h"
+#include "timing/session.h"
+#include "util/random_circuits.h"
+
+namespace awesim {
+
+namespace {
+
+using core::ScopedFaultInjection;
+using la::LowRankOptions;
+using la::LowRankSolver;
+using la::Lu;
+using la::Matrix;
+using la::RankOneUpdate;
+using la::RealVector;
+
+// |a - b| within `ulps`-scaled distance of the exact value: absolute
+// floor for results near zero, relative elsewhere.
+void expect_close(double a, double b, double rel, double abs,
+                  const std::string& what) {
+  EXPECT_LE(std::fabs(a - b), rel * std::fabs(b) + abs) << what;
+}
+
+// A diagonally dominant random matrix: always invertible, well enough
+// conditioned that Woodbury error stays near roundoff.
+Matrix<double> random_dd_matrix(std::uint32_t seed, std::size_t n) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> off(-1.0, 1.0);
+  Matrix<double> a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      a(i, j) = off(rng);
+      row += std::fabs(a(i, j));
+    }
+    a(i, i) = row + 1.0;
+  }
+  return a;
+}
+
+RealVector random_vector(std::uint32_t seed, std::size_t n) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> val(-2.0, 2.0);
+  RealVector b(n);
+  for (double& x : b) x = val(rng);
+  return b;
+}
+
+// Sparse rank-1 update touching a few random coordinates.
+RankOneUpdate random_update(std::mt19937& rng, std::size_t n) {
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  std::uniform_real_distribution<double> val(-0.5, 0.5);
+  RankOneUpdate up;
+  up.u = {{pick(rng), val(rng)}, {pick(rng), val(rng)}};
+  up.v = {{pick(rng), 1.0}, {pick(rng), -1.0}};
+  return up;
+}
+
+LowRankSolver make_solver(const Lu<double>& base, std::size_t n,
+                          LowRankOptions options = {}) {
+  return LowRankSolver(
+      n, [&base](const RealVector& b) { return base.solve(b); },
+      [&base](const std::vector<RealVector>& bs) {
+        return base.solve_multi(bs);
+      },
+      options);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// la::LowRankSolver against direct refactorization.
+
+TEST(LowRankSolver, WoodburyMatchesDirectRefactorization) {
+  for (std::uint32_t seed : {11u, 22u, 33u, 44u}) {
+    const std::size_t n = 24;
+    Matrix<double> a0 = random_dd_matrix(seed, n);
+    const Lu<double> base(a0);
+    LowRankSolver lr = make_solver(base, n);
+
+    std::mt19937 rng(seed ^ 0x9e3779b9u);
+    Matrix<double> a = a0;
+    for (int k = 0; k < 5; ++k) {
+      const RankOneUpdate up = random_update(rng, n);
+      ASSERT_TRUE(lr.add_update(up)) << "seed " << seed << " k " << k;
+      for (const auto& [iu, vu] : up.u) {
+        for (const auto& [iv, vv] : up.v) a(iu, iv) += vu * vv;
+      }
+      const Lu<double> direct(a);
+      const RealVector b = random_vector(seed + 100 * k, n);
+      const RealVector x_lr = lr.solve(b);
+      const RealVector x_direct = direct.solve(b);
+      for (std::size_t i = 0; i < n; ++i) {
+        expect_close(x_lr[i], x_direct[i], 1e-10, 1e-12,
+                     "seed " + std::to_string(seed) + " rank " +
+                         std::to_string(k + 1) + " x[" +
+                         std::to_string(i) + "]");
+      }
+    }
+    EXPECT_EQ(lr.rank(), 5u);
+  }
+}
+
+TEST(LowRankSolver, SolveMultiBitwiseEqualsSolve) {
+  const std::size_t n = 17;
+  Matrix<double> a0 = random_dd_matrix(5u, n);
+  const Lu<double> base(a0);
+  LowRankSolver lr = make_solver(base, n);
+  std::mt19937 rng(7u);
+  for (int k = 0; k < 3; ++k) ASSERT_TRUE(lr.add_update(random_update(rng, n)));
+
+  std::vector<RealVector> bs;
+  for (std::uint32_t s = 0; s < 13; ++s) bs.push_back(random_vector(s, n));
+  const std::vector<RealVector> batched = lr.solve_multi(bs);
+  ASSERT_EQ(batched.size(), bs.size());
+  for (std::size_t j = 0; j < bs.size(); ++j) {
+    EXPECT_EQ(batched[j], lr.solve(bs[j])) << "rhs " << j;
+  }
+}
+
+TEST(LowRankSolver, ZeroUpdateIsRankZeroAndBitExact) {
+  const std::size_t n = 9;
+  Matrix<double> a0 = random_dd_matrix(3u, n);
+  const Lu<double> base(a0);
+  LowRankSolver lr = make_solver(base, n);
+  // All-zero u (and an entirely empty update) change nothing.
+  EXPECT_TRUE(lr.add_update({{{2, 0.0}}, {{4, 1.0}}}));
+  EXPECT_TRUE(lr.add_update({}));
+  EXPECT_EQ(lr.rank(), 0u);
+  const RealVector b = random_vector(8u, n);
+  EXPECT_EQ(lr.solve(b), base.solve(b));
+}
+
+TEST(LowRankSolver, RankCapRefusesAndLeavesSolverUntouched) {
+  const std::size_t n = 12;
+  Matrix<double> a0 = random_dd_matrix(9u, n);
+  const Lu<double> base(a0);
+  LowRankOptions options;
+  options.max_rank = 2;
+  LowRankSolver lr = make_solver(base, n, options);
+  std::mt19937 rng(13u);
+  ASSERT_TRUE(lr.add_update(random_update(rng, n)));
+  ASSERT_TRUE(lr.add_update(random_update(rng, n)));
+  const RealVector b = random_vector(21u, n);
+  const RealVector before = lr.solve(b);
+  EXPECT_FALSE(lr.add_update(random_update(rng, n)));
+  EXPECT_EQ(lr.rank(), 2u);
+  EXPECT_EQ(lr.solve(b), before);  // refusal rolled everything back
+}
+
+TEST(LowRankSolver, DriftWatchdogRefusesNearSingularCapMatrix) {
+  const std::size_t n = 8;
+  Matrix<double> a0 = random_dd_matrix(17u, n);
+  const Lu<double> base(a0);
+  LowRankSolver lr = make_solver(base, n);
+  // u v^T with u = -A0 e0 makes (I + V^T Z) exactly singular: the
+  // updated matrix zeroes column 0.
+  RankOneUpdate killer;
+  for (std::size_t i = 0; i < n; ++i) killer.u.push_back({i, -a0(i, 0)});
+  killer.v = {{0, 1.0}};
+  EXPECT_FALSE(lr.add_update(killer));
+  EXPECT_EQ(lr.rank(), 0u);
+}
+
+TEST(LowRankSolver, FaultProbeForcesRefusal) {
+  const std::size_t n = 10;
+  Matrix<double> a0 = random_dd_matrix(29u, n);
+  const Lu<double> base(a0);
+  LowRankSolver lr = make_solver(base, n);
+  std::mt19937 rng(31u);
+  {
+    ScopedFaultInjection scoped({{"la.lowrank", "*", -1}});
+    EXPECT_FALSE(lr.add_update(random_update(rng, n)));
+    EXPECT_EQ(lr.rank(), 0u);
+  }
+  EXPECT_TRUE(lr.add_update(random_update(rng, n)));
+  EXPECT_EQ(lr.rank(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Blocked multi-RHS substitutions: bitwise identity with the one-vector
+// forms, across panel-boundary counts (kPanel = 8).
+
+TEST(BlockedSubstitution, DenseSolveMultiBitwiseEqualsSolve) {
+  for (std::size_t nrhs : {1u, 7u, 8u, 9u, 16u, 23u}) {
+    const std::size_t n = 19;
+    Matrix<double> a = random_dd_matrix(41u, n);
+    const Lu<double> lu(a);
+    std::vector<RealVector> bs;
+    for (std::uint32_t s = 0; s < nrhs; ++s) {
+      bs.push_back(random_vector(1000u + s, n));
+    }
+    const std::vector<RealVector> batched = lu.solve_multi(bs);
+    ASSERT_EQ(batched.size(), nrhs);
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      EXPECT_EQ(batched[j], lu.solve(bs[j])) << nrhs << " rhs, j=" << j;
+    }
+  }
+}
+
+TEST(BlockedSubstitution, SparseSolveMultiBitwiseEqualsSolve) {
+  // An RC-ladder-shaped tridiagonal system, the shape SparseLu serves in
+  // production.
+  const std::size_t n = 40;
+  std::vector<la::Triplet> trips;
+  for (std::size_t i = 0; i < n; ++i) {
+    trips.push_back({i, i, 3.0 + 0.01 * static_cast<double>(i)});
+    if (i + 1 < n) {
+      trips.push_back({i, i + 1, -1.0});
+      trips.push_back({i + 1, i, -1.0});
+    }
+  }
+  const la::SparseMatrix a = la::SparseMatrix::from_triplets(n, n, trips);
+  const la::SparseLu lu(a);
+  for (std::size_t nrhs : {1u, 8u, 11u, 24u}) {
+    std::vector<RealVector> bs;
+    for (std::uint32_t s = 0; s < nrhs; ++s) {
+      bs.push_back(random_vector(2000u + s, n));
+    }
+    const std::vector<RealVector> batched = lu.solve_multi(bs);
+    ASSERT_EQ(batched.size(), nrhs);
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      EXPECT_EQ(batched[j], lu.solve(bs[j])) << nrhs << " rhs, j=" << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// The differential tier: Session warm path vs exact refactorization.
+
+namespace {
+
+using timing::AnalysisOptions;
+using timing::Session;
+using timing::SessionOptions;
+using timing::TimingReport;
+using timing::testutil::StageDesign;
+using timing::testutil::ValueMutation;
+
+SessionOptions warm_options() {
+  SessionOptions so;
+  so.low_rank = true;
+  // The production gate keeps sub-64-element stages exact; the test
+  // circuits are sized for speed, so drop the gate and exercise the
+  // corrected solver everywhere.
+  so.min_stage_elements = 0;
+  return so;
+}
+
+SessionOptions exact_options() {
+  SessionOptions so;
+  so.low_rank = false;
+  return so;
+}
+
+// Tolerance of the differential comparison.  The Woodbury correction on
+// these well-conditioned stage matrices is accurate to ~1e-12 relative;
+// 1e-8 headroom still catches any genuine defect (a wrong update is off
+// by percent-level or worse).
+constexpr double kRel = 1e-8;
+constexpr double kAbs = 1e-15;  // seconds; delays here are ~1e-10 s
+
+void expect_reports_close(const TimingReport& warm,
+                          const TimingReport& exact,
+                          const std::string& what) {
+  ASSERT_EQ(warm.stages.size(), exact.stages.size()) << what;
+  for (std::size_t i = 0; i < warm.stages.size(); ++i) {
+    const auto& w = warm.stages[i];
+    const auto& e = exact.stages[i];
+    ASSERT_EQ(w.sinks.size(), e.sinks.size()) << what;
+    for (std::size_t j = 0; j < w.sinks.size(); ++j) {
+      expect_close(w.sinks[j].stage_delay, e.sinks[j].stage_delay, kRel,
+                   kAbs, what + " stage_delay");
+      expect_close(w.sinks[j].slew, e.sinks[j].slew, kRel, kAbs,
+                   what + " slew");
+      expect_close(w.sinks[j].arrival, e.sinks[j].arrival, kRel, kAbs,
+                   what + " arrival");
+    }
+    EXPECT_EQ(w.degraded, e.degraded) << what;
+    EXPECT_EQ(w.failed, e.failed) << what;
+  }
+  expect_close(warm.critical_delay, exact.critical_delay, kRel, kAbs,
+               what + " critical_delay");
+  EXPECT_EQ(warm.critical_path, exact.critical_path) << what;
+}
+
+StageDesign make_family(int family, std::uint32_t seed) {
+  switch (family) {
+    case 0: return timing::testutil::rc_line_design(seed, 30);
+    case 1: return timing::testutil::rc_tree_design(seed, 30);
+    default: return timing::testutil::rc_mesh_design(seed, 30, 4);
+  }
+}
+
+}  // namespace
+
+TEST(LowRankDifferential, MutationSequencesAgreeWithExactRefactorization) {
+  for (int family = 0; family < 3; ++family) {
+    for (std::uint32_t seed : {1u, 2u, 3u}) {
+      const StageDesign stage = make_family(family, seed);
+      Session warm(stage.design, AnalysisOptions{}, warm_options());
+      Session exact(stage.design, AnalysisOptions{}, exact_options());
+      (void)warm.analyze();
+      (void)exact.analyze();
+
+      std::uint64_t lr_points = 0;
+      const std::vector<ValueMutation> steps =
+          timing::testutil::random_perturbations(seed * 31u + 7u, stage, 6);
+      for (std::size_t s = 0; s < steps.size(); ++s) {
+        warm.set_value(steps[s].net, steps[s].element_index, steps[s].value);
+        exact.set_value(steps[s].net, steps[s].element_index,
+                        steps[s].value);
+        const TimingReport w = warm.analyze();
+        const TimingReport e = exact.analyze();
+        lr_points += w.awe_stats.low_rank_points;
+        expect_reports_close(
+            w, e,
+            "family " + std::to_string(family) + " seed " +
+                std::to_string(seed) + " step " + std::to_string(s));
+      }
+      // The warm path must actually have engaged -- a differential suite
+      // that silently compares exact against exact proves nothing.
+      EXPECT_GT(lr_points, 0u) << "family " << family << " seed " << seed;
+    }
+  }
+}
+
+TEST(LowRankDifferential, DriveResistanceSweepAgreesAndEngages) {
+  const StageDesign stage = timing::testutil::rc_line_design(77u, 40);
+  Session warm(stage.design, AnalysisOptions{}, warm_options());
+  Session exact(stage.design, AnalysisOptions{}, exact_options());
+  const timing::SweepParam param{timing::SweepParam::Kind::DriveResistance,
+                                 "drv", 0};
+  const std::vector<double> values = {150.0, 300.0, 450.0, 600.0};
+  const timing::SweepResult w = warm.sweep(param, values);
+  const timing::SweepResult e = exact.sweep(param, values);
+  ASSERT_EQ(w.points.size(), e.points.size());
+  std::uint64_t lr_points = 0;
+  for (std::size_t i = 0; i < w.points.size(); ++i) {
+    expect_reports_close(w.points[i].report, e.points[i].report,
+                         "sweep point " + std::to_string(i));
+    lr_points += w.points[i].report.awe_stats.low_rank_points;
+  }
+  EXPECT_GT(lr_points, 0u);
+}
+
+TEST(LowRankDifferential, EscapeHatchStaysBitIdenticalToColdAnalyze) {
+  for (std::uint32_t seed : {5u, 6u}) {
+    const StageDesign stage = timing::testutil::rc_tree_design(seed, 30);
+    Session exact(stage.design, AnalysisOptions{}, exact_options());
+    (void)exact.analyze();
+    const std::vector<ValueMutation> steps =
+        timing::testutil::random_perturbations(seed + 900u, stage, 4);
+    Session replay(stage.design, AnalysisOptions{}, exact_options());
+    for (const ValueMutation& m : steps) {
+      exact.set_value(m.net, m.element_index, m.value);
+      replay.set_value(m.net, m.element_index, m.value);
+    }
+    const TimingReport warm_exact = exact.analyze();
+    // Cold twin of the final design state.
+    const TimingReport cold = replay.design().analyze(AnalysisOptions{});
+    timing::testutil::expect_same_payload(warm_exact, cold);
+    EXPECT_EQ(warm_exact.awe_stats.low_rank_points, 0u);
+  }
+}
+
+TEST(LowRankDifferential, InjectedDriftFallsBackToExactRefactorization) {
+  const StageDesign stage = timing::testutil::rc_line_design(55u, 30);
+  Session warm(stage.design, AnalysisOptions{}, warm_options());
+  (void)warm.analyze();
+  warm.set_value(stage.net, stage.resistor_indices[2],
+                 stage.resistor_values[2] * 1.5);
+
+  TimingReport refused;
+  {
+    // Every Sherman-Morrison update refuses: the watchdog path.
+    ScopedFaultInjection scoped({{"la.lowrank", "*", -1}});
+    refused = warm.analyze();
+  }
+  EXPECT_EQ(refused.awe_stats.low_rank_points, 0u);
+  EXPECT_GT(refused.awe_stats.low_rank_refactorizations, 0u);
+  bool saw_drift_diag = false;
+  for (const auto& st : refused.stages) {
+    for (const auto& d : st.diagnostics) {
+      if (d.code == core::DiagCode::LowRankDrift) saw_drift_diag = true;
+    }
+  }
+  EXPECT_TRUE(saw_drift_diag);
+
+  // The fallback is a full refactorization: bit-identical to a cold
+  // analyze of the same design, diagnostics aside.
+  const TimingReport cold = warm.design().analyze(AnalysisOptions{});
+  timing::testutil::expect_same_payload(refused, cold,
+                                        /*compare_diagnostics=*/false);
+}
+
+TEST(LowRankDifferential, CorruptedCacheEntryStillRecomputes) {
+  // The low-rank result key space goes through the same checksum-guarded
+  // lookup as exact entries: corrupting the serve path must recompute,
+  // never serve stale -- with the warm path on.
+  const StageDesign stage = timing::testutil::rc_line_design(91u, 30);
+  Session warm(stage.design, AnalysisOptions{}, warm_options());
+  (void)warm.analyze();
+  warm.set_value(stage.net, stage.resistor_indices[0],
+                 stage.resistor_values[0] * 1.2);
+  const TimingReport first = warm.analyze();
+  ASSERT_GT(first.awe_stats.low_rank_points, 0u);
+
+  ScopedFaultInjection scoped({{"session.cache", "net0", -1}});
+  const TimingReport recomputed = warm.analyze();
+  bool saw_invalidation = false;
+  for (const auto& st : recomputed.stages) {
+    for (const auto& d : st.diagnostics) {
+      if (d.code == core::DiagCode::CacheInvalidated) saw_invalidation = true;
+    }
+  }
+  EXPECT_TRUE(saw_invalidation);
+  expect_reports_close(recomputed, first, "recompute after corruption");
+}
+
+}  // namespace awesim

@@ -20,50 +20,16 @@
 
 #include "timing/graph.h"
 #include "timing/paths.h"
+#include "util/random_circuits.h"
 
 namespace awesim::timing {
 
 namespace {
 
-std::string gate_name(int i) {
-  return "g" + std::string(i < 10 ? "0" : "") + std::to_string(i);
-}
-
-// A random layered DAG rendered as a TimingReport: gate i may drive any
-// higher-numbered gate, plus (sometimes) an output port.  Arc delays are
-// uniform in [1, 100] ps.  Gates without fan-in become graph sources
-// automatically; report.source_gates is left empty on purpose to cover
-// that default.
-TimingReport random_report(std::uint32_t seed, int n_gates,
-                           double arc_probability) {
-  std::mt19937 rng(seed);
-  std::uniform_real_distribution<double> delay(1e-12, 100e-12);
-  std::uniform_real_distribution<double> coin(0.0, 1.0);
-  TimingReport report;
-  for (int i = 0; i < n_gates; ++i) report.gate_arrival[gate_name(i)] = 0.0;
-  for (int i = 0; i < n_gates; ++i) {
-    StageTiming st;
-    st.driver_gate = gate_name(i);
-    st.net = "n" + std::to_string(i);
-    for (int j = i + 1; j < n_gates; ++j) {
-      if (coin(rng) < arc_probability) {
-        SinkTiming s;
-        s.gate = gate_name(j);
-        s.stage_delay = delay(rng);
-        s.slew = 10e-12;
-        st.sinks.push_back(s);
-      }
-    }
-    if (coin(rng) < 0.3) {
-      SinkTiming s;
-      s.gate = "PO" + std::to_string(i);  // no such gate: a port
-      s.stage_delay = delay(rng);
-      st.sinks.push_back(s);
-    }
-    if (!st.sinks.empty()) report.stages.push_back(std::move(st));
-  }
-  return report;
-}
+// The seeded DAG-report generator and gate labels come from the shared
+// test utility (tests/util/random_circuits.*).
+using testutil::gate_name;
+using testutil::random_report;
 
 struct BrutePath {
   double arrival = 0.0;

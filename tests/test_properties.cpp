@@ -9,6 +9,7 @@
 #include "core/moments.h"
 #include "rctree/rctree.h"
 #include "sim/transient.h"
+#include "util/random_circuits.h"
 
 namespace awesim {
 
@@ -209,5 +210,24 @@ TEST(SparsePath, LargeRcLineMatchesDenseResults) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeProperty,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// Seeded design-generator determinism: the shared test-utility circuit
+// families (tests/util/random_circuits.*) must be reproducible in the
+// seed, and analysis over them bit-identical at any thread count -- the
+// numeric differential tier (test_low_rank.cpp) leans on both.
+TEST(RandomCircuits, SeededGeneratorsAndAnalysisAreDeterministic) {
+  for (std::uint32_t seed : {1u, 7u, 42u}) {
+    timing::testutil::StageDesign a = timing::testutil::rc_tree_design(seed, 24);
+    timing::testutil::StageDesign b = timing::testutil::rc_tree_design(seed, 24);
+    ASSERT_EQ(a.resistor_indices, b.resistor_indices);
+    ASSERT_EQ(a.resistor_values, b.resistor_values);
+    timing::AnalysisOptions opt;
+    opt.threads = 1;
+    const timing::TimingReport ra = a.design.analyze(opt);
+    opt.threads = 4;
+    const timing::TimingReport rb = b.design.analyze(opt);
+    timing::testutil::expect_same_payload(ra, rb);
+  }
+}
 
 }  // namespace awesim

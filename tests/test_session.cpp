@@ -14,125 +14,17 @@
 
 #include "core/fault.h"
 #include "timing/session.h"
+#include "util/random_circuits.h"
 
 namespace awesim::timing {
 
-namespace {
-
-NetElement r(const std::string& a, const std::string& b, double v) {
-  return {NetElement::Kind::Resistor, a, b, v};
-}
-NetElement c(const std::string& a, double v) {
-  return {NetElement::Kind::Capacitor, a, "0", v};
-}
-
-// Reconvergent fanout plus a design-output endpoint:
-//   g1 -n1-> {g2, g3};  g2 -n2-> g4;  g3 -n3-> g4;  g4 -n4-> OUT.
-Design fanout_design() {
-  Design d;
-  d.add_gate({"g1", 1.0e3, 4e-15, 5e-12});
-  d.add_gate({"g2", 1.2e3, 5e-15, 7e-12});
-  d.add_gate({"g3", 0.9e3, 6e-15, 6e-12});
-  d.add_gate({"g4", 1.1e3, 4e-15, 8e-12});
-
-  Net n1;
-  n1.name = "n1";
-  n1.parasitics = {r("DRV", "a", 150.0),  c("a", 40e-15),
-                   r("a", "w2", 220.0),   c("w2", 25e-15),
-                   r("a", "w3", 330.0),   c("w3", 35e-15)};
-  n1.sink_node["g2"] = "w2";
-  n1.sink_node["g3"] = "w3";
-  d.add_net("g1", n1);
-
-  Net n2;
-  n2.name = "n2";
-  n2.parasitics = {r("DRV", "b", 270.0), c("b", 60e-15)};
-  n2.sink_node["g4"] = "b";
-  d.add_net("g2", n2);
-
-  Net n3;
-  n3.name = "n3";
-  n3.parasitics = {r("DRV", "bc", 410.0), c("bc", 45e-15)};
-  n3.sink_node["g4"] = "bc";
-  d.add_net("g3", n3);
-
-  Net n4;
-  n4.name = "n4";
-  n4.parasitics = {r("DRV", "o", 190.0), c("o", 80e-15)};
-  n4.sink_node["OUT"] = "o";  // no such gate: design output endpoint
-  d.add_net("g4", n4);
-
-  d.set_primary_input("g1");
-  return d;
-}
-
-// A straight chain g1 -n1-> g2 -n2-> g3 -n3-> g4 with per-stage distinct
-// parasitics (distinct content keys).
-Design chain_design(int gates = 4) {
-  Design d;
-  for (int i = 1; i <= gates; ++i) {
-    d.add_gate({"g" + std::to_string(i), 1.0e3 + 10.0 * i, 4e-15,
-                5e-12});
-  }
-  for (int i = 1; i < gates; ++i) {
-    Net net;
-    net.name = "n" + std::to_string(i);
-    net.parasitics = {r("DRV", "w", 200.0 + 13.0 * i),
-                      c("w", (20.0 + i) * 1e-15),
-                      r("w", "w2", 250.0 + 7.0 * i), c("w2", 30e-15)};
-    net.sink_node["g" + std::to_string(i + 1)] = "w2";
-    d.add_net("g" + std::to_string(i), net);
-  }
-  d.set_primary_input("g1");
-  return d;
-}
-
-// Bitwise comparison of the timing payload the bit-identity contract
-// covers.  awe_stats (cost counters), phases, and wall_seconds are
-// deliberately outside the contract -- they describe work performed,
-// which is exactly what warm runs save.
-void expect_same_payload(const TimingReport& a, const TimingReport& b,
-                         bool compare_diagnostics = true) {
-  ASSERT_EQ(a.stages.size(), b.stages.size());
-  for (std::size_t i = 0; i < a.stages.size(); ++i) {
-    const StageTiming& x = a.stages[i];
-    const StageTiming& y = b.stages[i];
-    EXPECT_EQ(x.driver_gate, y.driver_gate);
-    EXPECT_EQ(x.net, y.net);
-    EXPECT_EQ(x.input_arrival, y.input_arrival);
-    EXPECT_EQ(x.awe_order_used, y.awe_order_used);
-    EXPECT_EQ(x.degraded, y.degraded);
-    EXPECT_EQ(x.failed, y.failed);
-    ASSERT_EQ(x.sinks.size(), y.sinks.size());
-    for (std::size_t j = 0; j < x.sinks.size(); ++j) {
-      EXPECT_EQ(x.sinks[j].gate, y.sinks[j].gate);
-      EXPECT_EQ(x.sinks[j].stage_delay, y.sinks[j].stage_delay);
-      EXPECT_EQ(x.sinks[j].slew, y.sinks[j].slew);
-      EXPECT_EQ(x.sinks[j].arrival, y.sinks[j].arrival);
-    }
-    if (compare_diagnostics) {
-      ASSERT_EQ(x.diagnostics.size(), y.diagnostics.size());
-      for (std::size_t j = 0; j < x.diagnostics.size(); ++j) {
-        EXPECT_EQ(x.diagnostics[j].code, y.diagnostics[j].code);
-        EXPECT_EQ(x.diagnostics[j].severity, y.diagnostics[j].severity);
-        EXPECT_EQ(x.diagnostics[j].message, y.diagnostics[j].message);
-        EXPECT_EQ(x.diagnostics[j].element, y.diagnostics[j].element);
-        EXPECT_EQ(x.diagnostics[j].node, y.diagnostics[j].node);
-      }
-    }
-  }
-  EXPECT_EQ(a.gate_arrival, b.gate_arrival);
-  EXPECT_EQ(a.critical_delay, b.critical_delay);
-  EXPECT_EQ(a.critical_path, b.critical_path);
-  EXPECT_EQ(a.levels, b.levels);
-  EXPECT_EQ(a.degraded_stages, b.degraded_stages);
-  EXPECT_EQ(a.failed_stages, b.failed_stages);
-  if (compare_diagnostics) {
-    EXPECT_EQ(a.diagnostics.size(), b.diagnostics.size());
-  }
-}
-
-}  // namespace
+// Design generators and the payload comparator live in the shared test
+// utility (tests/util/random_circuits.*), adopted here and by the
+// numeric differential tier in test_low_rank.cpp.
+using testutil::c;
+using testutil::chain_design;
+using testutil::expect_same_payload;
+using testutil::fanout_design;
 
 TEST(Session, ColdRunMatchesDesignAnalyze) {
   AnalysisOptions opt;
