@@ -27,6 +27,11 @@ void register_paths_cases();
 /// loopback TCP under 1/8/32 concurrent clients (qps, p50/p99 latency).
 void register_serve_cases();
 
+/// The hierarchical-reduction cases: the 10k-node accuracy control and
+/// the full-tier 1M-node speedup row (cold collapse + stitched
+/// analysis vs the flat analyzer).
+void register_reduce_cases();
+
 /// Idempotent: registers every case exactly once.
 inline void ensure_all_registered() {
   static std::once_flag once;
@@ -36,6 +41,7 @@ inline void ensure_all_registered() {
     register_sweep_cases();
     register_paths_cases();
     register_serve_cases();
+    register_reduce_cases();
   });
 }
 

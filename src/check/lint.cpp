@@ -10,21 +10,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "check/partition.h"
 #include "netlist/parser.h"
 #include "obs/trace.h"
 
 namespace awesim::check {
-
-const char* to_string(TopologyClass topology) {
-  switch (topology) {
-    case TopologyClass::Empty: return "empty";
-    case TopologyClass::RcTree: return "rc-tree";
-    case TopologyClass::RcMesh: return "rc-mesh";
-    case TopologyClass::Rlc: return "rlc";
-    case TopologyClass::General: return "general";
-  }
-  return "unknown";
-}
 
 namespace {
 
@@ -87,34 +77,19 @@ std::string join_names(const std::vector<std::string>& names,
   return out;
 }
 
-/// Disjoint-set forest over node ids, with path halving.
-class UnionFind {
- public:
-  explicit UnionFind(std::size_t n) : parent_(n) {
-    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
-  }
-
-  int find(int a) {
-    while (parent_[a] != a) {
-      parent_[a] = parent_[parent_[a]];
-      a = parent_[a];
+/// Unite every port of every macro: a boundary-block macromodel ties
+/// its ports together through the (resistive) interior it collapsed, so
+/// the connectivity/cutset rules must treat it as one conductive blob.
+void unite_macro_ports(const Circuit& ckt, UnionFind& uf,
+                       std::vector<char>* used) {
+  for (const auto& m : ckt.macros()) {
+    for (std::size_t i = 0; i < m.ports.size(); ++i) {
+      const auto id = static_cast<std::size_t>(m.ports[i]);
+      if (used != nullptr) (*used)[id] = 1;
+      if (i > 0) uf.unite(m.ports[0], m.ports[i]);
     }
-    return a;
   }
-
-  /// False when a and b were already connected (a union would close a
-  /// loop in the edge set being inserted).
-  bool unite(int a, int b) {
-    a = find(a);
-    b = find(b);
-    if (a == b) return false;
-    parent_[b] = a;
-    return true;
-  }
-
- private:
-  std::vector<int> parent_;
-};
+}
 
 struct Linter {
   const Circuit& ckt;
@@ -192,6 +167,37 @@ struct Linter {
         case ElementKind::VoltageSource:
         case ElementKind::CurrentSource:
           break;
+      }
+    }
+    for (const auto& m : ckt.macros()) {
+      if (m.name.empty()) {
+        emit(core::DiagCode::ValidationError, core::Severity::Error,
+             "macro with an empty name");
+      } else if (!seen.insert(m.name).second) {
+        emit(core::DiagCode::ValidationError, core::Severity::Error,
+             "duplicate element name", m.name);
+      }
+      const std::size_t dim = m.dim();
+      if (m.g.size() != dim * dim || m.c.size() != dim * dim) {
+        emit(core::DiagCode::ValidationError, core::Severity::Error,
+             "macro stamp size disagrees with ports+states", m.name);
+        continue;
+      }
+      for (const double v : m.g) {
+        if (!std::isfinite(v)) {
+          emit(core::DiagCode::ValueOutOfRange, core::Severity::Error,
+               "macro G stamp entry " + format_value(v) + " is not finite",
+               m.name);
+          break;
+        }
+      }
+      for (const double v : m.c) {
+        if (!std::isfinite(v)) {
+          emit(core::DiagCode::ValueOutOfRange, core::Severity::Error,
+               "macro C stamp entry " + format_value(v) + " is not finite",
+               m.name);
+          break;
+        }
       }
     }
   }
@@ -370,6 +376,7 @@ struct Linter {
       used[static_cast<std::size_t>(e.pos)] = 1;
       used[static_cast<std::size_t>(e.neg)] = 1;
     }
+    unite_macro_ports(ckt, uf, &used);
 
     for (std::size_t id = 1; id < n; ++id) {
       if (!used[id]) {
@@ -469,6 +476,7 @@ struct Linter {
       used[static_cast<std::size_t>(e.neg)] = 1;
       if (conductive(e.kind)) uf.unite(e.pos, e.neg);
     }
+    unite_macro_ports(ckt, uf, &used);
 
     for (const auto& group : groups_without_ground(uf, used)) {
       if (island[static_cast<std::size_t>(group.front())]) {
@@ -515,43 +523,47 @@ struct Linter {
     }
   }
 
-  // Rule 5: structure classification.
+  // Rule 5: structure classification, via the shared edge classifier
+  // (check/partition.h) that src/reduce's reducibility gate also uses.
   TopologyClass classify() const {
-    if (ckt.elements().empty()) return TopologyClass::Empty;
-    UnionFind uf(ckt.node_count());
-    bool has_ctrl = false;
-    bool has_current = false;
-    bool has_inductor = false;
-    bool caps_grounded = true;
-    bool resistive_loop = false;
+    std::vector<Edge> edges;
+    edges.reserve(ckt.elements().size());
     for (const auto& e : ckt.elements()) {
+      Edge edge;
+      edge.a = e.pos;
+      edge.b = e.neg;
       switch (e.kind) {
         case ElementKind::Resistor:
         case ElementKind::VoltageSource:
-          if (e.pos != e.neg && !uf.unite(e.pos, e.neg)) {
-            resistive_loop = true;
-          }
+          edge.kind = Edge::Kind::Resistive;
           break;
         case ElementKind::Capacitor:
-          if (e.pos != circuit::kGround && e.neg != circuit::kGround) {
-            caps_grounded = false;
-          }
+          edge.kind = Edge::Kind::Capacitive;
           break;
         case ElementKind::Inductor:
-          has_inductor = true;
-          break;
-        case ElementKind::CurrentSource:
-          has_current = true;
+          edge.kind = Edge::Kind::Inductive;
           break;
         default:
-          has_ctrl = true;
+          edge.kind = Edge::Kind::Other;
           break;
       }
+      edges.push_back(edge);
     }
-    if (has_ctrl || has_current) return TopologyClass::General;
-    if (has_inductor) return TopologyClass::Rlc;
-    return (caps_grounded && !resistive_loop) ? TopologyClass::RcTree
-                                              : TopologyClass::RcMesh;
+    // A macro is a resistive star over its ports; the reduced interior
+    // carries coupled state dynamics no tree bound describes, so a
+    // circuit with macros is never better than RcMesh.
+    for (const auto& m : ckt.macros()) {
+      for (std::size_t i = 1; i < m.ports.size(); ++i) {
+        edges.push_back({m.ports[0], m.ports[i], Edge::Kind::Resistive});
+      }
+    }
+    TopologyClass cls = classify_edges(ckt.node_count(), edges);
+    if (!ckt.macros().empty()) {
+      if (cls == TopologyClass::Empty || cls == TopologyClass::RcTree) {
+        cls = TopologyClass::RcMesh;
+      }
+    }
+    return cls;
   }
 
   /// Connected components over `uf` that do not contain ground,

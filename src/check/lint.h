@@ -45,25 +45,11 @@
 #include <string>
 #include <string_view>
 
+#include "check/partition.h"
 #include "circuit/circuit.h"
 #include "core/diagnostic.h"
 
 namespace awesim::check {
-
-/// Structural class of a circuit, coarsest first.  RcTree is the
-/// Penfield-Rubinstein precondition: only R/C/independent-V elements,
-/// every capacitor grounded, and the resistor+source edges form a tree
-/// (no resistive loops, ground included) -- exactly the shape where the
-/// first-order AWE model IS the Elmore bound (paper eq. 50).
-enum class TopologyClass {
-  Empty,   // no elements at all
-  RcTree,  // R/C/V only, caps grounded, resistive spanning tree
-  RcMesh,  // R/C/V only, but resistive loops or floating capacitors
-  Rlc,     // contains inductors (underdamped responses possible)
-  General, // controlled sources / current sources present
-};
-
-const char* to_string(TopologyClass topology);
 
 struct LintOptions {
   /// Unit-scale plausibility windows (inclusive).  Values outside emit

@@ -1,0 +1,46 @@
+#include "check/partition.h"
+
+namespace awesim::check {
+
+const char* to_string(TopologyClass topology) {
+  switch (topology) {
+    case TopologyClass::Empty: return "empty";
+    case TopologyClass::RcTree: return "rc-tree";
+    case TopologyClass::RcMesh: return "rc-mesh";
+    case TopologyClass::Rlc: return "rlc";
+    case TopologyClass::General: return "general";
+  }
+  return "unknown";
+}
+
+TopologyClass classify_edges(std::size_t node_count,
+                             const std::vector<Edge>& edges) {
+  if (edges.empty()) return TopologyClass::Empty;
+  UnionFind uf(node_count);
+  bool has_other = false;
+  bool has_inductive = false;
+  bool caps_grounded = true;
+  bool resistive_loop = false;
+  for (const Edge& e : edges) {
+    switch (e.kind) {
+      case Edge::Kind::Resistive:
+        if (e.a != e.b && !uf.unite(e.a, e.b)) resistive_loop = true;
+        break;
+      case Edge::Kind::Capacitive:
+        if (e.a != 0 && e.b != 0) caps_grounded = false;
+        break;
+      case Edge::Kind::Inductive:
+        has_inductive = true;
+        break;
+      case Edge::Kind::Other:
+        has_other = true;
+        break;
+    }
+  }
+  if (has_other) return TopologyClass::General;
+  if (has_inductive) return TopologyClass::Rlc;
+  return (caps_grounded && !resistive_loop) ? TopologyClass::RcTree
+                                            : TopologyClass::RcMesh;
+}
+
+}  // namespace awesim::check

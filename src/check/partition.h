@@ -1,0 +1,82 @@
+// Element-graph partitioning primitives shared by the lint rule pipeline
+// and the hierarchical reduction subsystem (src/reduce).
+//
+// Lint grew these first: the connectivity and cutset rules need disjoint
+// sets over node ids, and the structure rule needs the RC-tree / RC-mesh
+// / RLC classification.  Hierarchical reduction asks the same questions
+// of the same graphs -- which nodes form an island, is this subcircuit an
+// RC tree the macromodel construction applies to -- so the machinery
+// lives here instead of being copied.  Everything is pure graph analysis
+// (union-find with path halving), O(edges * alpha), allocation-light.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace awesim::check {
+
+/// Structural class of a circuit, coarsest first.  RcTree is the
+/// Penfield-Rubinstein precondition: only R/C/independent-V elements,
+/// every capacitor grounded, and the resistor+source edges form a tree
+/// (no resistive loops, ground included) -- exactly the shape where the
+/// first-order AWE model IS the Elmore bound (paper eq. 50).
+enum class TopologyClass {
+  Empty,   // no elements at all
+  RcTree,  // R/C/V only, caps grounded, resistive spanning tree
+  RcMesh,  // R/C/V only, but resistive loops or floating capacitors
+  Rlc,     // contains inductors (underdamped responses possible)
+  General, // controlled sources / current sources present
+};
+
+const char* to_string(TopologyClass topology);
+
+/// Disjoint-set forest over dense integer ids, with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+
+  int find(int a) {
+    while (parent_[a] != a) {
+      parent_[a] = parent_[parent_[a]];
+      a = parent_[a];
+    }
+    return a;
+  }
+
+  /// False when a and b were already connected (a union would close a
+  /// loop in the edge set being inserted).
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[b] = a;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// One edge of an element graph, as partitioning and classification see
+/// it: endpoints by dense node id (0 = ground) plus the electrical role
+/// of the element.  Resistive covers everything that ties its endpoint
+/// voltages together at DC (resistors, voltage-defined sources);
+/// Other covers current sources and controlled sources.
+struct Edge {
+  enum class Kind { Resistive, Capacitive, Inductive, Other };
+  int a = 0;
+  int b = 0;
+  Kind kind = Kind::Resistive;
+};
+
+/// Structure classification over an edge list -- the rule-5 logic of the
+/// lint pipeline, shared with src/reduce's reducibility gate.  RcTree
+/// requires every capacitive edge grounded and the resistive edges to
+/// form a forest (no loops, ground included); any inductive edge makes
+/// the class Rlc, any Other edge General.  An empty list is Empty.
+TopologyClass classify_edges(std::size_t node_count,
+                             const std::vector<Edge>& edges);
+
+}  // namespace awesim::check

@@ -1,5 +1,6 @@
 #include "circuit/circuit.h"
 
+#include <cmath>
 #include <set>
 
 namespace awesim::circuit {
@@ -137,6 +138,37 @@ Element& Circuit::add_ccvs(std::string name, NodeId pos, NodeId neg,
   return add(std::move(e));
 }
 
+MacroElement& Circuit::add_macro(MacroElement macro) {
+  if (macro.name.empty()) {
+    throw std::invalid_argument("Circuit: macro with empty name");
+  }
+  const std::size_t dim = macro.dim();
+  if (macro.g.size() != dim * dim || macro.c.size() != dim * dim) {
+    throw std::invalid_argument("Circuit: macro '" + macro.name +
+                                "' stamp size disagrees with ports+states");
+  }
+  for (const NodeId port : macro.ports) {
+    if (port < 0 || static_cast<std::size_t>(port) >= node_names_.size()) {
+      throw std::invalid_argument("Circuit: macro '" + macro.name +
+                                  "' references an unknown node id");
+    }
+  }
+  for (const double v : macro.g) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument("Circuit: macro '" + macro.name +
+                                  "' has a non-finite G entry");
+    }
+  }
+  for (const double v : macro.c) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument("Circuit: macro '" + macro.name +
+                                  "' has a non-finite C entry");
+    }
+  }
+  macros_.push_back(std::move(macro));
+  return macros_.back();
+}
+
 void Circuit::set_initial_node_voltage(NodeId node, double volts) {
   if (node == kGround) {
     throw std::invalid_argument("Circuit: cannot set IC on ground");
@@ -160,6 +192,9 @@ void Circuit::validate() const {
   for (const auto& e : elements_) {
     touched.insert(e.pos);
     touched.insert(e.neg);
+  }
+  for (const auto& m : macros_) {
+    for (const NodeId port : m.ports) touched.insert(port);
   }
   for (std::size_t id = 1; id < node_names_.size(); ++id) {
     if (touched.count(static_cast<NodeId>(id)) == 0) {

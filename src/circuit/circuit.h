@@ -75,6 +75,33 @@ struct Element {
   SourceLoc loc;
 };
 
+/// A multiport boundary-block macromodel, produced by hierarchical
+/// reduction (src/reduce): the moment-matched equivalent of a collapsed
+/// RC subtree, expressed as dense conductance/capacitance stamps over
+/// its boundary ports plus `states` reduced internal unknowns.  Stamped
+/// directly into the MNA matrices (mna/system.cpp) -- the entries of a
+/// congruence-projected block are signed and coupled, so a macro cannot
+/// be (and is not) represented as individual R/C elements.
+struct MacroElement {
+  std::string name;
+  /// Boundary nodes, in stamp order.  Ports may repeat ground; ground
+  /// rows/columns are dropped at stamp time like any other element.
+  std::vector<NodeId> ports;
+  /// Number of reduced internal unknowns appended after the ports.
+  std::size_t states = 0;
+  /// Row-major (ports.size()+states)^2 symmetric stamps: entry (i,j)
+  /// adds to G/C between unknown i and unknown j of this macro.
+  std::vector<double> g;
+  std::vector<double> c;
+  /// Series-resistance / total-capacitance sums of the collapsed
+  /// elements, so the analytic Elmore bound of a reduced stage equals
+  /// the flat stage's bound arithmetic exactly.
+  double sum_resistance = 0.0;
+  double sum_capacitance = 0.0;
+
+  std::size_t dim() const { return ports.size() + states; }
+};
+
 /// A netlist-level circuit: a node name table plus an element list.
 ///
 /// Build programmatically:
@@ -102,6 +129,14 @@ class Circuit {
   std::size_t node_count() const { return node_names_.size(); }
 
   const std::vector<Element>& elements() const { return elements_; }
+
+  /// Boundary-block macromodels (usually none; see MacroElement).
+  const std::vector<MacroElement>& macros() const { return macros_; }
+
+  /// Add a reduction macromodel.  Throws std::invalid_argument when the
+  /// stamp dimensions disagree with ports/states, a port id is out of
+  /// range, or any stamp entry is non-finite.
+  MacroElement& add_macro(MacroElement macro);
 
   Element& add_resistor(std::string name, NodeId pos, NodeId neg,
                         double ohms);
@@ -148,6 +183,7 @@ class Circuit {
   std::vector<std::string> node_names_;
   std::map<std::string, NodeId, std::less<>> node_ids_;
   std::vector<Element> elements_;
+  std::vector<MacroElement> macros_;
   std::map<NodeId, double> initial_node_voltages_;
 };
 

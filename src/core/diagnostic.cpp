@@ -29,6 +29,9 @@ const char* to_string(DiagCode code) {
     case DiagCode::StageFailed: return "stage-failed";
     case DiagCode::CacheInvalidated: return "cache-invalidated";
     case DiagCode::LowRankDrift: return "low-rank-drift";
+    case DiagCode::ReductionFallback: return "reduction-fallback";
+    case DiagCode::ReductionToleranceExceeded:
+      return "reduction-tolerance-exceeded";
     case DiagCode::DeadlineExceeded: return "deadline-exceeded";
     case DiagCode::BudgetExceeded: return "budget-exceeded";
     case DiagCode::InvalidRequest: return "invalid-request";

@@ -53,6 +53,9 @@ enum class DiagCode {
   StageFailed,      // a stage could not be approximated; bound substituted
   CacheInvalidated, // a session cache entry failed verification; recomputed
   LowRankDrift,     // low-rank warm path refused; full refactorization ran
+  // Hierarchical reduction (src/reduce).
+  ReductionFallback,          // a net could not be reduced; analyzed flat
+  ReductionToleranceExceeded, // macromodel failed moment verification; flat
   // Request lifecycle (timing-as-a-service; see src/serve and
   // core/cancel.h).  These describe the *request*, never the design:
   // a deadline-exceeded analysis left no partial results behind.

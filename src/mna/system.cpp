@@ -169,6 +169,33 @@ void MnaSystem::stamp(const circuit::Circuit& ckt) {
       }
     }
   }
+
+  // Boundary-block macromodels: each macro's reduced internal unknowns
+  // are appended after the branch currents, and its dense (ports+states)
+  // stamps scatter into G/C with ground rows/columns dropped -- the
+  // multiport generalization of stamp_pair.
+  for (const auto& m : ckt.macros()) {
+    const std::size_t dim = m.dim();
+    std::vector<std::optional<std::size_t>> at(dim);
+    for (std::size_t i = 0; i < m.ports.size(); ++i) {
+      at[i] = idx(m.ports[i]);
+    }
+    for (std::size_t s = 0; s < m.states; ++s) {
+      at[m.ports.size() + s] = dim_++;
+    }
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (!at[i]) continue;
+      for (std::size_t j = 0; j < dim; ++j) {
+        if (!at[j]) continue;
+        const double gv = m.g[i * dim + j];
+        const double cv = m.c[i * dim + j];
+        if (gv != 0.0) g_triplets_.push_back({*at[i], *at[j], gv});
+        if (cv != 0.0) c_triplets_.push_back({*at[i], *at[j], cv});
+      }
+    }
+  }
+  rhs_initial_.resize(dim_, 0.0);
+
   g_sparse_ = la::SparseMatrix::from_triplets(dim_, dim_, g_triplets_);
   c_sparse_ = la::SparseMatrix::from_triplets(dim_, dim_, c_triplets_);
 }
@@ -273,6 +300,14 @@ std::vector<std::string> MnaSystem::floating_node_names() const {
         break;
       default:
         break;
+    }
+  }
+  // A reduction macro ties its ports together through the resistive
+  // interior it collapsed: conductive between every port pair.
+  for (const auto& m : ckt_->macros()) {
+    for (std::size_t i = 1; i < m.ports.size(); ++i) {
+      adjacent[static_cast<std::size_t>(m.ports[0])].push_back(m.ports[i]);
+      adjacent[static_cast<std::size_t>(m.ports[i])].push_back(m.ports[0]);
     }
   }
   std::vector<bool> reached(count, false);

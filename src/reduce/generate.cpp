@@ -1,0 +1,121 @@
+#include "reduce/generate.h"
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace awesim::reduce {
+
+namespace {
+
+using timing::NetElement;
+
+std::string gate_name(std::size_t i) {
+  std::string digits = std::to_string(i);
+  if (digits.size() < 6) digits.insert(0, 6 - digits.size(), '0');
+  return "g" + digits;
+}
+
+/// One cell's parasitics: `interior` net-local nodes m0..m(interior-1)
+/// between the driver hookup "DRV" and the sink hookups "S0"/"S1".
+/// Values come from raw mt19937 words (scaled, never through a
+/// std::*_distribution) so the bytes are identical on every platform.
+std::vector<NetElement> cell_elements(MegaSpec::Style style,
+                                      std::size_t interior,
+                                      std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  const auto unit = [&rng] {
+    return static_cast<double>(rng() >> 8) * (1.0 / 16777216.0);
+  };
+  std::vector<NetElement> out;
+  out.reserve(2 * interior + interior / 16 + 4);
+  const auto node = [](std::size_t j) { return "m" + std::to_string(j); };
+  const auto add_r = [&](std::string a, std::string b) {
+    out.push_back({NetElement::Kind::Resistor, std::move(a), std::move(b),
+                   2.0 + 8.0 * unit()});
+  };
+  const auto add_c = [&](std::string a, std::string b) {
+    out.push_back({NetElement::Kind::Capacitor, std::move(a), std::move(b),
+                   (1.0 + 2.0 * unit()) * 1e-15});
+  };
+
+  interior = std::max<std::size_t>(interior, 4);
+  if (style == MegaSpec::Style::Tree) {
+    // Trunk from the driver, then two equal branches to the two sinks.
+    const std::size_t trunk = interior / 2;
+    const std::size_t branch = (interior - trunk) / 2;
+    add_r("DRV", node(0));
+    for (std::size_t j = 1; j < trunk; ++j) add_r(node(j - 1), node(j));
+    std::size_t next = trunk;
+    for (int b = 0; b < 2; ++b) {
+      std::size_t prev = trunk - 1;
+      const std::size_t len = (b == 0) ? branch : interior - trunk - branch;
+      for (std::size_t j = 0; j < len; ++j, ++next) {
+        add_r(node(prev), node(next));
+        prev = next;
+      }
+      add_r(node(prev), b == 0 ? "S0" : "S1");
+    }
+  } else {
+    add_r("DRV", node(0));
+    for (std::size_t j = 1; j < interior; ++j) add_r(node(j - 1), node(j));
+    add_r(node(interior - 1), "S0");
+  }
+  for (std::size_t j = 0; j < interior; ++j) add_c(node(j), "0");
+
+  if (style == MegaSpec::Style::Mesh) {
+    // Cross-link resistors close loops (the RcMesh class) and a sparse
+    // sprinkling of node-to-node coupling caps keeps C_ii non-diagonal.
+    for (std::size_t j = 29; j + 13 < interior; j += 29) {
+      add_r(node(j), node(j + 13));
+    }
+    for (std::size_t j = 53; j + 7 < interior; j += 53) {
+      add_c(node(j), node(j + 7));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t mega_stages(const MegaSpec& spec) {
+  const std::size_t cell = std::max<std::size_t>(spec.cell_nodes, 4);
+  return std::max<std::size_t>(1, (spec.target_nodes + cell - 1) / cell);
+}
+
+timing::Design mega_design(const MegaSpec& spec) {
+  const std::size_t stages = mega_stages(spec);
+  const std::size_t variants = std::max<std::size_t>(spec.variants, 1);
+  timing::Design design;
+  for (std::size_t i = 0; i < stages; ++i) {
+    timing::Gate gate;
+    gate.name = gate_name(i);
+    gate.drive_resistance = 150.0;
+    gate.input_capacitance = 4e-15;
+    gate.intrinsic_delay = 5e-12;
+    design.add_gate(gate);
+  }
+  for (std::size_t i = 0; i < stages; ++i) {
+    timing::Net net;
+    net.name = "n" + std::to_string(i);
+    const std::uint32_t variant_seed =
+        spec.seed + static_cast<std::uint32_t>(i % variants) * 1013904223u;
+    net.parasitics = cell_elements(spec.style, spec.cell_nodes, variant_seed);
+    if (spec.style == MegaSpec::Style::Tree) {
+      const std::size_t c0 = 2 * i + 1;
+      const std::size_t c1 = 2 * i + 2;
+      net.sink_node[c0 < stages ? gate_name(c0)
+                                : "out" + std::to_string(i) + "a"] = "S0";
+      net.sink_node[c1 < stages ? gate_name(c1)
+                                : "out" + std::to_string(i) + "b"] = "S1";
+    } else {
+      net.sink_node[i + 1 < stages ? gate_name(i + 1) : "out"] = "S0";
+    }
+    design.add_net(gate_name(i), std::move(net));
+  }
+  design.set_primary_input(gate_name(0));
+  return design;
+}
+
+}  // namespace awesim::reduce

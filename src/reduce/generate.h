@@ -1,0 +1,54 @@
+// Deterministic mega-design generation for the hierarchical-reduction
+// benches and tests: gate chains/trees whose nets are kilo-node RC cells
+// drawn from a small pool of repeated variants.
+//
+// Two properties matter and both are guaranteed:
+//   * determinism -- the same MegaSpec produces the bitwise-identical
+//     Design on every platform (no std::uniform_* distributions, whose
+//     output is implementation-defined; values come straight from
+//     mt19937 words);
+//   * repetition -- every net is one of `variants` cell contents with
+//     identical net-local node names and element values, so the
+//     content-addressed reduction store collapses each variant once and
+//     the other (stages - variants) instances rehydrate from cache.
+//     That is the real-design shape (buses, clock trees, tiled fabrics)
+//     the 1M-node bench row measures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "timing/analyzer.h"
+
+namespace awesim::reduce {
+
+struct MegaSpec {
+  /// Interconnect shape of each cell (and of the gate graph: Tree uses
+  /// two-sink cells driving a binary gate tree; Chain and Mesh drive a
+  /// linear gate chain).
+  enum class Style {
+    Chain,  // RC line cells: the RcTree class, reduction's best case
+    Tree,   // branching two-sink cells on a binary gate tree
+    Mesh,   // RC line plus cross-link resistors and coupling caps
+            // (resistive loops: the RcMesh class)
+  };
+  Style style = Style::Mesh;
+
+  /// Total interior interconnect nodes to generate, split into
+  /// ceil(target_nodes / cell_nodes) stages.
+  std::size_t target_nodes = 1'000'000;
+  /// Interior nodes per net.
+  std::size_t cell_nodes = 1000;
+  /// Distinct cell contents; instance i uses variant i % variants.
+  std::size_t variants = 8;
+  std::uint32_t seed = 1;
+};
+
+/// Number of stages (nets, and gates) the spec expands to.
+std::size_t mega_stages(const MegaSpec& spec);
+
+/// Build the design: uniform gates g000000.., nets n0.. of repeated
+/// cells, one primary input, the last stage(s) ending at design outputs.
+timing::Design mega_design(const MegaSpec& spec);
+
+}  // namespace awesim::reduce

@@ -377,6 +377,10 @@ json::Value cache_stats_to_json(const timing::Session::CacheStats& s) {
   v.set("evictions", u64(s.evictions));
   v.set("lint_hits", u64(s.lint_hits));
   v.set("lint_misses", u64(s.lint_misses));
+  v.set("reduction_entries",
+        static_cast<unsigned long long>(s.reduction_entries));
+  v.set("reduction_hits", u64(s.reduction_hits));
+  v.set("reduction_misses", u64(s.reduction_misses));
   return v;
 }
 

@@ -67,9 +67,33 @@ struct NetElement {
   double value = 0.0;
 };
 
+/// A reduced boundary-block macromodel over net-local node names -- the
+/// timing-layer mirror of circuit::MacroElement, produced by
+/// reduce::reduce_net when a net's interior collapses into a
+/// moment-matched equivalent.  Hand-built nets never carry these.
+struct NetMacro {
+  /// Net-local names of the boundary ports, in stamp order ("DRV", then
+  /// the sink hookup nodes).  Ground is never a port: the reducer folds
+  /// interior-to-ground contributions into the stamp diagonals and
+  /// refuses any net whose sink hookup is the ground node.
+  std::vector<std::string> ports;
+  /// Reduced internal unknowns appended after the ports.
+  std::size_t states = 0;
+  /// Row-major (ports.size()+states)^2 symmetric G/C stamps.
+  std::vector<double> g;
+  std::vector<double> c;
+  /// Sums over the collapsed elements, so the analytic Elmore fallback
+  /// of a reduced stage reproduces the flat stage's bound arithmetic.
+  double sum_resistance = 0.0;
+  double sum_capacitance = 0.0;
+};
+
 struct Net {
   std::string name;
   std::vector<NetElement> parasitics;
+  /// Boundary-block macromodels stamped alongside the parasitics (only
+  /// present on reduced nets; see src/reduce).
+  std::vector<NetMacro> macros;
   /// Net-local node name where each sink gate input attaches.
   std::map<std::string, std::string> sink_node;  // sink gate -> node name
 };
@@ -304,6 +328,19 @@ class Design {
   /// Run the full analysis.  Throws std::invalid_argument for structural
   /// problems (unknown gates, combinational cycles).
   TimingReport analyze(const AnalysisOptions& options = {}) const;
+
+  /// Read access for design-level transforms (src/reduce walks every
+  /// net, rewrites its parasitics into macromodels, and rebuilds an
+  /// equivalent Design through the public mutators above).
+  const std::map<std::string, Gate>& gates() const { return gates_; }
+  std::size_t net_count() const { return nets_.size(); }
+  const Net& net_at(std::size_t i) const { return nets_.at(i).net; }
+  const std::string& net_driver(std::size_t i) const {
+    return nets_.at(i).driver;
+  }
+  const std::vector<std::string>& primary_inputs() const {
+    return primary_inputs_;
+  }
 
  private:
   struct NetInstance {

@@ -36,6 +36,12 @@ double lumped_elmore_tau(const Gate& driver, const Net& net,
       c_total += std::abs(e.value);
     }
   }
+  // Reduced nets carry the collapsed interior's R/C totals on the
+  // macro, keeping this bound identical to the flat net's.
+  for (const auto& m : net.macros) {
+    if (std::isfinite(m.sum_resistance)) r_total += m.sum_resistance;
+    if (std::isfinite(m.sum_capacitance)) c_total += m.sum_capacitance;
+  }
   for (const auto& [sink, node_name] : net.sink_node) {
     const auto it = gates.find(sink);
     if (it != gates.end() && it->second.input_capacitance > 0.0) {
@@ -130,6 +136,19 @@ StageCircuit build_stage(const Gate& driver, const Net& net,
         ckt.add_inductor(name, a, b, e.value);
         break;
     }
+  }
+  std::size_t macro_counter = 0;
+  for (const auto& m : net.macros) {
+    circuit::MacroElement macro;
+    macro.name = "__m" + std::to_string(macro_counter++);
+    macro.ports.reserve(m.ports.size());
+    for (const auto& port : m.ports) macro.ports.push_back(ckt.node(port));
+    macro.states = m.states;
+    macro.g = m.g;
+    macro.c = m.c;
+    macro.sum_resistance = m.sum_resistance;
+    macro.sum_capacitance = m.sum_capacitance;
+    ckt.add_macro(std::move(macro));
   }
   for (const auto& [sink, node_name] : net.sink_node) {
     const auto node = ckt.node(node_name);

@@ -292,6 +292,9 @@ Session::CacheStats Session::cache_stats() const {
   stats.evictions = c.evictions;
   stats.lint_hits = c.lint_hits;
   stats.lint_misses = c.lint_misses;
+  stats.reduction_entries = cache_->reduction_entries();
+  stats.reduction_hits = c.reduction_hits;
+  stats.reduction_misses = c.reduction_misses;
   return stats;
 }
 

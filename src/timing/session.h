@@ -195,6 +195,11 @@ class Session {
     /// hits/misses; see StageCache::Counters).
     std::uint64_t lint_hits = 0;
     std::uint64_t lint_misses = 0;
+    /// Net-reduction artifacts (src/reduce; populated only when a
+    /// reduce::HierSession shares this session's cache).
+    std::size_t reduction_entries = 0;
+    std::uint64_t reduction_hits = 0;
+    std::uint64_t reduction_misses = 0;
   };
   CacheStats cache_stats() const;
 

@@ -86,6 +86,16 @@ void append_content_key(KeyBuilder& kb, const Gate& driver, const Net& net,
     }
     kb.tag(kind).text(e.node_a).text(e.node_b).number(e.value);
   }
+  // Boundary-block macromodels of reduced nets: every stamp entry is
+  // content (two macros differing in one double are different circuits).
+  kb.tag('M').integer(net.macros.size());
+  for (const auto& m : net.macros) {
+    kb.integer(m.ports.size()).integer(m.states);
+    for (const auto& port : m.ports) kb.text(port);
+    for (const double v : m.g) kb.number(v);
+    for (const double v : m.c) kb.number(v);
+    kb.number(m.sum_resistance).number(m.sum_capacitance);
+  }
   // net.sink_node is a std::map: sinks serialize name-sorted, matching
   // the order build_stage walks them.  A sink's input cap enters the key
   // as the value actually stamped (0 when no capacitor is added).
@@ -149,6 +159,45 @@ std::string low_rank_result_key(
   for (const auto& [element, base] : deltas) {
     kb.text(element).number(base);
   }
+  return kb.take();
+}
+
+std::uint64_t reduction_checksum(const CachedReduction& reduction) {
+  KeyBuilder kb;
+  kb.tag('R')
+      .tag(reduction.reduced ? 'r' : '-')
+      .integer(reduction.interior_eliminated);
+  kb.tag('P').integer(reduction.parasitics.size());
+  for (const auto& e : reduction.parasitics) {
+    kb.integer(static_cast<std::uint64_t>(e.kind))
+        .text(e.node_a)
+        .text(e.node_b)
+        .number(e.value);
+  }
+  kb.tag('M').integer(reduction.macros.size());
+  for (const auto& m : reduction.macros) {
+    kb.integer(m.ports.size()).integer(m.states);
+    for (const auto& port : m.ports) kb.text(port);
+    for (const double v : m.g) kb.number(v);
+    for (const double v : m.c) kb.number(v);
+    kb.number(m.sum_resistance).number(m.sum_capacitance);
+  }
+  kb.tag('g').integer(reduction.diagnostics.size());
+  for (const auto& d : reduction.diagnostics) {
+    kb.integer(static_cast<std::uint64_t>(d.code))
+        .integer(static_cast<std::uint64_t>(d.severity))
+        .text(d.message)
+        .text(d.element)
+        .text(d.node);
+  }
+  return fnv1a(kb.bytes());
+}
+
+std::string reduction_key(std::string_view content) {
+  KeyBuilder kb;
+  kb.reserve(content.size() + 16);
+  kb.tag('\x01').tag('R');
+  kb.text(content);
   return kb.take();
 }
 
@@ -248,6 +297,53 @@ void StageCache::insert_lint(const std::string& key,
   evict_lints_locked();
 }
 
+std::shared_ptr<const CachedReduction> StageCache::lookup_reduction(
+    const std::string& key, const std::string& net_name,
+    core::Diagnostics* diags) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = reductions_.find(key);
+  if (it == reductions_.end()) {
+    ++counters_.reduction_misses;
+    return nullptr;
+  }
+  const bool corrupt = core::fault_at("reduce.cache", net_name) ||
+                       reduction_checksum(*it->second.reduction) !=
+                           it->second.checksum;
+  if (corrupt) {
+    AWESIM_TRACE_SPAN("session.invalidate");
+    reductions_.erase(it);
+    ++counters_.invalidations;
+    ++counters_.reduction_misses;
+    if (diags != nullptr) {
+      core::Diagnostic d;
+      d.code = core::DiagCode::CacheInvalidated;
+      d.severity = core::Severity::Warning;
+      d.message =
+          "cached net reduction failed verification; dropped and "
+          "re-reduced";
+      d.element = net_name;
+      diags->push_back(std::move(d));
+    }
+    return nullptr;
+  }
+  ++counters_.reduction_hits;
+  return it->second.reduction;
+}
+
+void StageCache::insert_reduction(const std::string& key,
+                                  CachedReduction reduction) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (reductions_.count(key) > 0) return;
+  ReductionEntry entry;
+  entry.checksum = reduction_checksum(reduction);
+  entry.reduction =
+      std::make_shared<const CachedReduction>(std::move(reduction));
+  entry.sequence = next_sequence_++;
+  reduction_order_.emplace_back(entry.sequence, key);
+  reductions_.emplace(key, std::move(entry));
+  evict_reductions_locked();
+}
+
 void StageCache::evict_stages_locked() {
   while (stages_.size() > limits_.max_stage_entries &&
          !stage_order_.empty()) {
@@ -285,6 +381,18 @@ void StageCache::evict_lints_locked() {
   }
 }
 
+void StageCache::evict_reductions_locked() {
+  while (reductions_.size() > limits_.max_reduction_entries &&
+         !reduction_order_.empty()) {
+    const auto [seq, key] = reduction_order_.front();
+    reduction_order_.pop_front();
+    const auto it = reductions_.find(key);
+    if (it == reductions_.end() || it->second.sequence != seq) continue;
+    reductions_.erase(it);
+    ++counters_.evictions;
+  }
+}
+
 StageCache::Counters StageCache::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;
@@ -305,14 +413,21 @@ std::size_t StageCache::lint_entries() const {
   return lints_.size();
 }
 
+std::size_t StageCache::reduction_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reductions_.size();
+}
+
 void StageCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   stages_.clear();
   factors_.clear();
   lints_.clear();
+  reductions_.clear();
   stage_order_.clear();
   factor_order_.clear();
   lint_order_.clear();
+  reduction_order_.clear();
   counters_ = {};
   next_sequence_ = 0;
 }

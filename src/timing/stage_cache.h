@@ -127,6 +127,40 @@ struct CachedFactorization {
   core::Diagnostics diagnostics;
 };
 
+/// One cached net reduction (src/reduce): the macro-replaced parasitic
+/// view of a net's interconnect, stored name-agnostic -- the key covers
+/// only the parasitics, the boundary node set, and the reduction
+/// settings, so repeated cells (buses, clock trees) reduce once and
+/// every instance rehydrates from this record.  `reduced == false` is a
+/// negative cache: the net was examined and refused (too small, non-RC,
+/// verification failure, injected fault), so instances analyze flat
+/// without re-attempting the collapse; the refusal diagnostics ride
+/// along for the report.
+struct CachedReduction {
+  /// Elements kept flat (the boundary-adjacent survivors).
+  std::vector<NetElement> parasitics;
+  /// Moment-matched boundary blocks replacing the interior.
+  std::vector<NetMacro> macros;
+  bool reduced = false;
+  /// Interior nodes eliminated by the collapse (0 when refused).
+  std::size_t interior_eliminated = 0;
+  /// Reduction-time records (ReductionFallback /
+  /// ReductionToleranceExceeded), replayed per rehydrated instance.
+  core::Diagnostics diagnostics;
+};
+
+/// Checksum of everything a CachedReduction serves back (the FNV-1a
+/// discipline of stage_checksum, applied to the reduction store).
+std::uint64_t reduction_checksum(const CachedReduction& reduction);
+
+/// The reduction key space: opens with '\x01','R' so it is disjoint
+/// from exact result keys (which open with the content section's 'A'),
+/// low-rank keys ('\x01','L'), and every other key space by byte two.
+/// `content` is the caller-serialized byte string covering the net's
+/// parasitics, boundary set, and reduction settings (see
+/// reduce::reduction_content_key).
+std::string reduction_key(std::string_view content);
+
 class StageCache {
  public:
   struct Limits {
@@ -136,6 +170,9 @@ class StageCache {
     std::size_t max_factorizations = 16;
     /// Pre-flight lint reports are a handful of diagnostics each.
     std::size_t max_lint_entries = 4096;
+    /// Net reductions: each entry is a few dense (ports+states)^2
+    /// blocks -- heavier than a stage record, far lighter than an LU.
+    std::size_t max_reduction_entries = 1024;
   };
 
   /// Cumulative lifetime counters (never reset by analyze calls;
@@ -152,6 +189,10 @@ class StageCache {
     /// byte-for-byte what it was before the lint cache existed.
     std::uint64_t lint_hits = 0;
     std::uint64_t lint_misses = 0;
+    /// Net-reduction lookups, likewise counted apart (the repeated-cell
+    /// dedup tests pin these directly).
+    std::uint64_t reduction_hits = 0;
+    std::uint64_t reduction_misses = 0;
   };
 
   explicit StageCache(Limits limits) : limits_(limits) {}
@@ -185,10 +226,21 @@ class StageCache {
   void insert_lint(const std::string& key,
                    std::shared_ptr<const check::LintReport> report);
 
+  /// Net reductions, keyed by reduction_key() bytes.  Verifies the
+  /// payload checksum (and consults the `reduce.cache` fault probe
+  /// keyed by `net_name`); a failed verification drops the entry,
+  /// appends a CacheInvalidated warning to `diags`, and misses -- the
+  /// caller re-reduces through the ordinary guarded path.
+  std::shared_ptr<const CachedReduction> lookup_reduction(
+      const std::string& key, const std::string& net_name,
+      core::Diagnostics* diags);
+  void insert_reduction(const std::string& key, CachedReduction reduction);
+
   Counters counters() const;
   std::size_t stage_entries() const;
   std::size_t factorization_entries() const;
   std::size_t lint_entries() const;
+  std::size_t reduction_entries() const;
   void clear();
 
  private:
@@ -205,21 +257,29 @@ class StageCache {
     std::shared_ptr<const check::LintReport> report;
     std::uint64_t sequence = 0;
   };
+  struct ReductionEntry {
+    std::shared_ptr<const CachedReduction> reduction;
+    std::uint64_t checksum = 0;
+    std::uint64_t sequence = 0;
+  };
 
   void evict_stages_locked();
   void evict_factors_locked();
   void evict_lints_locked();
+  void evict_reductions_locked();
 
   Limits limits_;
   mutable std::mutex mutex_;
   std::map<std::string, StageEntry> stages_;
   std::map<std::string, FactorEntry> factors_;
   std::map<std::string, LintEntry> lints_;
+  std::map<std::string, ReductionEntry> reductions_;
   // FIFO queues of (sequence, key); a queued key is only evicted while
   // its sequence still matches the live entry (re-inserted keys requeue).
   std::deque<std::pair<std::uint64_t, std::string>> stage_order_;
   std::deque<std::pair<std::uint64_t, std::string>> factor_order_;
   std::deque<std::pair<std::uint64_t, std::string>> lint_order_;
+  std::deque<std::pair<std::uint64_t, std::string>> reduction_order_;
   Counters counters_;
   std::uint64_t next_sequence_ = 0;
 };

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Docs drift gate: every user-facing surface must be documented.
+
+Two surfaces are checked against README.md, DESIGN.md, and
+EXPERIMENTS.md (an item passes if it appears in at least one of them):
+
+  1. every `--flag` accepted by an `awesim_*` CLI binary.  The CLIs are
+     discovered from the checked-in CMakeLists (`add_executable(awesim_*
+     <main>.cpp)`), and the flags are harvested from string literals in
+     each main source, so no build is needed for this half;
+  2. every bench case name registered with the unified runner, taken
+     from a built `awesim_bench --list` (pass --bench-bin; the CI leg
+     builds the runner first).
+
+Rationale: the repo's docs are contracts, not prose -- EXPERIMENTS.md
+promises one protocol entry per bench family and README promises a
+troubleshooting row per diagnostic surface.  A new flag or bench case
+that lands without a docs mention is exactly the drift this gate turns
+into a red CI leg.
+
+Usage:
+    docs_check.py --source-dir . --bench-bin build/bench/awesim_bench
+
+Exit codes: 0 all surfaces documented, 1 something missing, 2 usage or
+environment error.  Stdlib only.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md"]
+
+# A user-facing flag literal in a CLI main: --word, possibly with
+# hyphens, as it appears inside usage strings and the arg parser.
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+# add_executable(awesim_<name> <main>.cpp) -- only single-source CLI
+# binaries; libraries and test targets never match.
+ADD_EXE_RE = re.compile(
+    r"add_executable\(\s*(awesim_[A-Za-z0-9_]+)\s+([A-Za-z0-9_./]+\.cpp)\s*\)")
+
+
+def discover_clis(source_dir):
+    """Map CLI target name -> absolute path of its main source."""
+    clis = {}
+    for root, dirs, files in os.walk(source_dir):
+        dirs[:] = [d for d in dirs
+                   if not d.startswith(".") and d != "build"
+                   and not d.startswith("build-")]
+        if "CMakeLists.txt" not in files:
+            continue
+        path = os.path.join(root, "CMakeLists.txt")
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for target, main in ADD_EXE_RE.findall(text):
+            main_path = os.path.join(root, main)
+            if os.path.exists(main_path):
+                clis[target] = main_path
+    return clis
+
+
+def harvest_flags(main_path):
+    """Every distinct --flag literal in the CLI's main source."""
+    with open(main_path, encoding="utf-8") as fh:
+        text = fh.read()
+    return sorted(set(FLAG_RE.findall(text)))
+
+
+def bench_names(bench_bin):
+    """First token of each `awesim_bench --list` line."""
+    proc = subprocess.run([bench_bin, "--list"], stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True, check=False)
+    if proc.returncode != 0:
+        print(f"docs_check: {bench_bin} --list failed:\n{proc.stderr}",
+              file=sys.stderr)
+        sys.exit(2)
+    names = []
+    for line in proc.stdout.splitlines():
+        parts = line.split()
+        if parts:
+            names.append(parts[0])
+    if not names:
+        print(f"docs_check: {bench_bin} --list printed no cases",
+              file=sys.stderr)
+        sys.exit(2)
+    return names
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--source-dir", default=".")
+    ap.add_argument("--bench-bin", default=None,
+                    help="built awesim_bench; omit to skip the bench-name "
+                    "half (the CI leg always passes it)")
+    args = ap.parse_args()
+
+    docs = {}
+    for name in DOC_FILES:
+        path = os.path.join(args.source_dir, name)
+        if not os.path.exists(path):
+            print(f"docs_check: missing doc file {name}", file=sys.stderr)
+            return 2
+        with open(path, encoding="utf-8") as fh:
+            docs[name] = fh.read()
+    corpus = "\n".join(docs.values())
+
+    clis = discover_clis(args.source_dir)
+    if not clis:
+        print("docs_check: no awesim_* CLI targets discovered",
+              file=sys.stderr)
+        return 2
+
+    missing = []
+    checked = 0
+    for target in sorted(clis):
+        for flag in harvest_flags(clis[target]):
+            checked += 1
+            if flag not in corpus:
+                missing.append(f"{target} flag {flag}")
+
+    if args.bench_bin:
+        for name in bench_names(args.bench_bin):
+            checked += 1
+            if name not in corpus:
+                missing.append(f"bench case {name}")
+    else:
+        print("docs_check: note -- no --bench-bin, bench names unchecked")
+
+    print(f"docs_check: {checked} surfaces checked against "
+          f"{'/'.join(DOC_FILES)} "
+          f"({len(clis)} CLIs: {', '.join(sorted(clis))})")
+    if missing:
+        for item in missing:
+            print(f"docs_check: UNDOCUMENTED -- {item}", file=sys.stderr)
+        print(f"docs_check: FAIL -- {len(missing)} undocumented "
+              "surface(s); mention each in README.md, DESIGN.md, or "
+              "EXPERIMENTS.md", file=sys.stderr)
+        return 1
+    print("docs_check: OK -- every surface documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
