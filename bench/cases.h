@@ -32,6 +32,10 @@ void register_serve_cases();
 /// analysis vs the flat analyzer).
 void register_reduce_cases();
 
+/// The static-audit case: the three-tier design audit timed against the
+/// cold analysis it pre-flights (the near-free contract).
+void register_audit_cases();
+
 /// Idempotent: registers every case exactly once.
 inline void ensure_all_registered() {
   static std::once_flag once;
@@ -42,6 +46,7 @@ inline void ensure_all_registered() {
     register_paths_cases();
     register_serve_cases();
     register_reduce_cases();
+    register_audit_cases();
   });
 }
 

@@ -1,0 +1,26 @@
+* seeded defect: combinational cycle g1 -> g2 -> g3 -> g1
+.gate in rdrive=500 cin=2f
+.gate g1 rdrive=1k cin=5f
+.gate g2 rdrive=1.2k cin=5f
+.gate g3 rdrive=1.5k cin=5f
+.input in
+.net in n_in
+R1 DRV a 200
+C1 a 0 20f
+.sink g1 a
+.endnet
+.net g1 n1
+R1 DRV a 300
+C1 a 0 22f
+.sink g2 a
+.endnet
+.net g2 n2
+R1 DRV a 400
+C1 a 0 24f
+.sink g3 a
+.endnet
+.net g3 n3
+R1 DRV a 500
+C1 a 0 26f
+.sink g1 a
+.endnet

@@ -1,0 +1,47 @@
+* seeded defect: n_bomb fans out to 40 sinks (default threshold 32)
+.gate drv rdrive=1k cin=5f
+.input drv
+.net drv n_bomb
+R1 DRV a 100
+C1 a 0 50f
+.sink s01 a
+.sink s02 a
+.sink s03 a
+.sink s04 a
+.sink s05 a
+.sink s06 a
+.sink s07 a
+.sink s08 a
+.sink s09 a
+.sink s10 a
+.sink s11 a
+.sink s12 a
+.sink s13 a
+.sink s14 a
+.sink s15 a
+.sink s16 a
+.sink s17 a
+.sink s18 a
+.sink s19 a
+.sink s20 a
+.sink s21 a
+.sink s22 a
+.sink s23 a
+.sink s24 a
+.sink s25 a
+.sink s26 a
+.sink s27 a
+.sink s28 a
+.sink s29 a
+.sink s30 a
+.sink s31 a
+.sink s32 a
+.sink s33 a
+.sink s34 a
+.sink s35 a
+.sink s36 a
+.sink s37 a
+.sink s38 a
+.sink s39 a
+.sink s40 a
+.endnet

@@ -1,0 +1,11 @@
+* seeded defect: ~8-decade Elmore tau spread on n_stiff; the order-3
+* Hankel system cancels past the double-precision digit budget
+.gate drv rdrive=10 cin=1f
+.input drv
+.net drv n_stiff
+R1 DRV a 1
+C1 a 0 1p
+R2 a b 100k
+C2 b 0 10n
+.sink out b
+.endnet

@@ -1,0 +1,22 @@
+* near duplicate: n_c and n_d are identical up to one value (C2,
+* element index 3) -- aligning it would dedup the reduction
+.gate p1 rdrive=1k cin=5f
+.gate p2 rdrive=1k cin=5f
+.gate q1 rdrive=2k cin=4f
+.gate q2 rdrive=2k cin=4f
+.input p1
+.input p2
+.net p1 n_c
+R1 DRV m1 120
+C1 m1 0 15f
+R2 m1 a 80
+C2 a 0 12f
+.sink q1 a
+.endnet
+.net p2 n_d
+R1 DRV m1 120
+C1 m1 0 15f
+R2 m1 a 80
+C2 a 0 13f
+.sink q2 a
+.endnet

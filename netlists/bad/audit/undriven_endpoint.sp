@@ -1,0 +1,14 @@
+* seeded defect: u1 has no driving net and no .input declaration
+.gate drv rdrive=1k cin=5f
+.gate u1 rdrive=2k cin=6f
+.input drv
+.net drv nd
+R1 DRV a 150
+C1 a 0 30f
+.sink out a
+.endnet
+.net u1 nu
+R1 DRV b 250
+C1 b 0 35f
+.sink out2 b
+.endnet

@@ -1,0 +1,168 @@
+// awesim_audit: whole-design static analysis before any matrix is
+// assembled.  Audits each file on the command line: design netlists
+// (files with .gate cards; see design_netlist.h) get all three rule
+// tiers -- graph-scope lint, the numeric conditioning oracle, and the
+// repetition analysis -- while flat SPICE netlists get the conditioning
+// tier over the parsed circuit.
+//
+//   awesim_audit [--json[=FILE]] [--fanout-limit=N] [--order=Q]
+//                [--no-repetition] design.sp [more.sp ...]
+//
+// Exit status: 0 when every file audited clean (Info findings only),
+// 1 when any file had Warning-severity findings, 2 when any file had
+// Error-severity findings (or could not be read / parsed) or on usage
+// errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "audit/design_netlist.h"
+#include "audit/report_json.h"
+#include "netlist/parser.h"
+#include "obs/json.h"
+
+namespace {
+
+using awesim::audit::AuditOptions;
+using awesim::audit::AuditReport;
+
+void print_human(const std::string& path, const AuditReport& report) {
+  std::printf("%s: %zu error(s), %zu warning(s), %zu info(s)\n",
+              path.c_str(), report.errors, report.warnings, report.infos);
+  for (const auto& d : report.diagnostics) {
+    std::printf("  %s\n", d.to_string().c_str());
+  }
+}
+
+/// Parse errors fold into the report shape so JSON and exit-status
+/// handling are uniform.  Files with .gate cards take the design
+/// parser + full audit; everything else takes the flat SPICE parser +
+/// conditioning tier.
+AuditReport audit_file(const std::string& path, const AuditOptions& options) {
+  AuditReport report;
+  std::ifstream in(path);
+  if (!in) {
+    awesim::core::Diagnostic d;
+    d.code = awesim::core::DiagCode::ParseError;
+    d.severity = awesim::core::Severity::Error;
+    d.message = "cannot read '" + path + "'";
+    d.file = path;
+    report.diagnostics.push_back(std::move(d));
+    report.errors = 1;
+    return report;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string content = text.str();
+  if (awesim::audit::looks_like_design(content)) {
+    const awesim::audit::DesignParse parsed =
+        awesim::audit::parse_design(content, path);
+    if (parsed.design.has_value()) {
+      return awesim::audit::audit_design(*parsed.design, options,
+                                         &parsed.sources);
+    }
+    report.diagnostics = parsed.diagnostics;
+  } else {
+    const awesim::netlist::ParseResult flat =
+        awesim::netlist::parse_collect(content, path);
+    if (flat.circuit.has_value()) {
+      return awesim::audit::audit_circuit(*flat.circuit, options, path);
+    }
+    report.diagnostics = flat.diagnostics;
+  }
+  const std::size_t at_least_warning = awesim::core::count_at_least(
+      report.diagnostics, awesim::core::Severity::Warning);
+  report.errors = awesim::core::count_at_least(
+      report.diagnostics, awesim::core::Severity::Error);
+  report.warnings = at_least_warning - report.errors;
+  return report;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json[=FILE]] [--fanout-limit=N] [--order=Q] "
+               "[--no-repetition] design.sp [more.sp ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path;
+  AuditOptions options;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--fanout-limit=", 0) == 0) {
+      options.graph.fanout_threshold = static_cast<std::size_t>(
+          std::strtoul(arg.c_str() + std::strlen("--fanout-limit="),
+                       nullptr, 10));
+    } else if (arg.rfind("--order=", 0) == 0) {
+      options.oracle.target_order = static_cast<int>(
+          std::strtol(arg.c_str() + std::strlen("--order="), nullptr, 10));
+    } else if (arg == "--no-repetition") {
+      options.repetition = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                   arg.c_str());
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(argv[0]);
+
+  using awesim::obs::json::Value;
+  Value doc = Value::object();
+  doc.set("schema_version", awesim::audit::kAuditSchemaVersion);
+  doc.set("tool", "awesim_audit");
+  Value json_files = Value::array();
+
+  std::size_t total_errors = 0, total_warnings = 0;
+  for (const auto& path : files) {
+    const AuditReport report = audit_file(path, options);
+    total_errors += report.errors;
+    total_warnings += report.warnings;
+    if (json) {
+      json_files.push_back(awesim::audit::report_to_json(path, report));
+    } else {
+      print_human(path, report);
+    }
+  }
+
+  if (json) {
+    doc.set("files", std::move(json_files));
+    const std::string text = doc.dump(2) + "\n";
+    if (json_path.empty()) {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::FILE* out = std::fopen(json_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0],
+                     json_path.c_str());
+        return 2;
+      }
+      std::fputs(text.c_str(), out);
+      std::fclose(out);
+    }
+  }
+
+  if (total_errors > 0) return 2;
+  return total_warnings > 0 ? 1 : 0;
+}

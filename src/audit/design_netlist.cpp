@@ -1,0 +1,327 @@
+#include "audit/design_netlist.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "netlist/parser.h"
+
+namespace awesim::audit {
+
+namespace {
+
+struct Token {
+  std::string text;
+  std::size_t column = 0;  // 1-based
+};
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Whitespace-split one line; a token starting with '*' begins a
+/// comment that eats the rest of the line.
+std::vector<Token> tokenize(std::string_view line) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '*') break;
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    tokens.push_back(
+        {std::string(line.substr(start, i - start)), start + 1});
+  }
+  return tokens;
+}
+
+struct Parser {
+  std::string filename;
+  DesignParse out;
+
+  // Declaration-ordered collections, assembled into a Design at the end.
+  std::vector<timing::Gate> gates;
+  std::map<std::string, std::size_t> gate_ids;
+  struct PendingNet {
+    std::string driver;
+    timing::Net net;
+    circuit::SourceLoc loc;
+  };
+  std::vector<PendingNet> nets;
+  std::map<std::string, std::size_t> net_ids;
+  std::vector<std::pair<std::string, circuit::SourceLoc>> primary_inputs;
+
+  std::optional<PendingNet> open;  // the .net currently being filled
+
+  circuit::SourceLoc loc(std::size_t line, std::size_t column) const {
+    circuit::SourceLoc l;
+    l.file = filename;
+    l.line = line;
+    l.column = column;
+    return l;
+  }
+
+  void error(std::size_t line, std::size_t column, std::string message) {
+    core::Diagnostic d;
+    d.code = core::DiagCode::ParseError;
+    d.severity = core::Severity::Error;
+    d.message = std::move(message);
+    d.file = filename;
+    d.line = line;
+    d.column = column;
+    out.diagnostics.push_back(std::move(d));
+  }
+
+  bool parse_double(const Token& t, std::size_t line, double* value) {
+    try {
+      *value = netlist::parse_value(t.text);
+      return true;
+    } catch (const std::invalid_argument& e) {
+      error(line, t.column, e.what());
+      return false;
+    }
+  }
+
+  void gate_card(const std::vector<Token>& tok, std::size_t line) {
+    if (tok.size() < 2) {
+      error(line, tok[0].column, ".gate needs a name");
+      return;
+    }
+    timing::Gate gate;
+    gate.name = tok[1].text;
+    if (gate_ids.count(gate.name) != 0) {
+      error(line, tok[1].column, "duplicate gate '" + gate.name + "'");
+      return;
+    }
+    for (std::size_t i = 2; i < tok.size(); ++i) {
+      const std::size_t eq = tok[i].text.find('=');
+      if (eq == std::string::npos) {
+        error(line, tok[i].column,
+              ".gate parameter is not key=value: '" + tok[i].text + "'");
+        continue;
+      }
+      const std::string key = lower(tok[i].text.substr(0, eq));
+      Token value{tok[i].text.substr(eq + 1), tok[i].column + eq + 1};
+      double v = 0.0;
+      if (!parse_double(value, line, &v)) continue;
+      if (key == "rdrive") {
+        gate.drive_resistance = v;
+      } else if (key == "cin") {
+        gate.input_capacitance = v;
+      } else if (key == "delay") {
+        gate.intrinsic_delay = v;
+      } else {
+        error(line, tok[i].column, "unknown .gate parameter '" + key + "'");
+      }
+    }
+    gate_ids.emplace(gate.name, gates.size());
+    out.sources.gates.emplace(gate.name, loc(line, tok[1].column));
+    gates.push_back(std::move(gate));
+  }
+
+  void net_card(const std::vector<Token>& tok, std::size_t line) {
+    if (open.has_value()) {
+      error(line, tok[0].column,
+            ".net before .endnet of '" + open->net.name + "'");
+      close_net();
+    }
+    if (tok.size() < 3) {
+      error(line, tok[0].column, ".net needs DRIVER and NETNAME");
+      return;
+    }
+    PendingNet pending;
+    pending.driver = tok[1].text;
+    pending.net.name = tok[2].text;
+    pending.loc = loc(line, tok[2].column);
+    if (net_ids.count(pending.net.name) != 0) {
+      error(line, tok[2].column,
+            "duplicate net '" + pending.net.name + "'");
+      return;
+    }
+    open = std::move(pending);
+  }
+
+  void element_card(const std::vector<Token>& tok, std::size_t line) {
+    if (!open.has_value()) {
+      error(line, tok[0].column,
+            "element card outside .net/.endnet: '" + tok[0].text + "'");
+      return;
+    }
+    if (tok.size() != 4) {
+      error(line, tok[0].column,
+            "element card needs NAME NODE NODE VALUE");
+      return;
+    }
+    timing::NetElement e;
+    switch (std::tolower(static_cast<unsigned char>(tok[0].text[0]))) {
+      case 'r': e.kind = timing::NetElement::Kind::Resistor; break;
+      case 'c': e.kind = timing::NetElement::Kind::Capacitor; break;
+      case 'l': e.kind = timing::NetElement::Kind::Inductor; break;
+      default:
+        error(line, tok[0].column,
+              "unknown element card '" + tok[0].text +
+                  "' (design nets take R/C/L only)");
+        return;
+    }
+    e.node_a = tok[1].text;
+    e.node_b = tok[2].text;
+    if (!parse_double(tok[3], line, &e.value)) return;
+    out.sources.net_elements.emplace(
+        std::make_pair(open->net.name, open->net.parasitics.size()),
+        loc(line, tok[0].column));
+    open->net.parasitics.push_back(std::move(e));
+  }
+
+  void sink_card(const std::vector<Token>& tok, std::size_t line) {
+    if (!open.has_value()) {
+      error(line, tok[0].column, ".sink outside .net/.endnet");
+      return;
+    }
+    if (tok.size() < 3) {
+      error(line, tok[0].column, ".sink needs GATE and NODE");
+      return;
+    }
+    open->net.sink_node[tok[1].text] = tok[2].text;
+  }
+
+  void close_net() {
+    if (!open.has_value()) return;
+    out.sources.nets.emplace(open->net.name, open->loc);
+    net_ids.emplace(open->net.name, nets.size());
+    nets.push_back(std::move(*open));
+    open.reset();
+  }
+
+  void finish(std::size_t last_line) {
+    if (open.has_value()) {
+      error(last_line, 1, "missing .endnet for '" + open->net.name + "'");
+      close_net();
+    }
+    for (const auto& [name, pi_loc] : primary_inputs) {
+      if (gate_ids.count(name) == 0) {
+        error(pi_loc.line, pi_loc.column,
+              ".input names unknown gate '" + name + "'");
+      }
+    }
+    for (const PendingNet& pending : nets) {
+      if (gate_ids.count(pending.driver) == 0) {
+        error(pending.loc.line, pending.loc.column,
+              ".net driver '" + pending.driver + "' is not a gate");
+      }
+    }
+    if (count_at_least(out.diagnostics, core::Severity::Error) > 0) return;
+    timing::Design design;
+    for (const timing::Gate& gate : gates) design.add_gate(gate);
+    for (PendingNet& pending : nets) {
+      design.add_net(pending.driver, std::move(pending.net));
+    }
+    for (const auto& [name, pi_loc] : primary_inputs) {
+      (void)pi_loc;
+      design.set_primary_input(name);
+    }
+    out.design = std::move(design);
+  }
+};
+
+}  // namespace
+
+const circuit::SourceLoc* DesignSourceMap::gate_loc(
+    const std::string& gate) const {
+  const auto it = gates.find(gate);
+  return it == gates.end() ? nullptr : &it->second;
+}
+
+const circuit::SourceLoc* DesignSourceMap::net_loc(
+    const std::string& net) const {
+  const auto it = nets.find(net);
+  return it == nets.end() ? nullptr : &it->second;
+}
+
+const circuit::SourceLoc* DesignSourceMap::element_loc(
+    const std::string& net, std::size_t index) const {
+  const auto it = net_elements.find(std::make_pair(net, index));
+  return it == net_elements.end() ? nullptr : &it->second;
+}
+
+bool looks_like_design(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::vector<Token> tok = tokenize(line);
+    if (!tok.empty() && lower(tok[0].text) == ".gate") return true;
+  }
+  return false;
+}
+
+DesignParse parse_design(std::string_view text, std::string filename) {
+  Parser p;
+  p.filename = std::move(filename);
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<Token> tok = tokenize(line);
+    if (tok.empty()) continue;
+    const std::string head = lower(tok[0].text);
+    if (head == ".gate") {
+      p.gate_card(tok, line_no);
+    } else if (head == ".input") {
+      if (tok.size() < 2) {
+        p.error(line_no, tok[0].column, ".input needs a gate name");
+      } else {
+        p.primary_inputs.emplace_back(tok[1].text,
+                                      p.loc(line_no, tok[1].column));
+      }
+    } else if (head == ".net") {
+      p.net_card(tok, line_no);
+    } else if (head == ".sink") {
+      p.sink_card(tok, line_no);
+    } else if (head == ".endnet") {
+      if (!p.open.has_value()) {
+        p.error(line_no, tok[0].column, ".endnet without .net");
+      } else {
+        p.close_net();
+      }
+    } else if (head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      p.error(line_no, tok[0].column,
+              "unknown directive '" + tok[0].text + "'");
+    } else {
+      p.element_card(tok, line_no);
+    }
+  }
+  p.finish(line_no == 0 ? 1 : line_no);
+  return p.out;
+}
+
+DesignParse parse_design_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    DesignParse out;
+    core::Diagnostic d;
+    d.code = core::DiagCode::ParseError;
+    d.severity = core::Severity::Error;
+    d.message = "cannot read '" + path + "'";
+    d.file = path;
+    out.diagnostics.push_back(std::move(d));
+    return out;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_design(text.str(), path);
+}
+
+}  // namespace awesim::audit

@@ -1,0 +1,87 @@
+#include "audit/report_json.h"
+
+#include <utility>
+
+namespace awesim::audit {
+
+using obs::json::Value;
+
+Value diagnostic_to_json(const core::Diagnostic& d) {
+  Value out = Value::object();
+  out.set("code", core::to_string(d.code));
+  out.set("severity", core::to_string(d.severity));
+  out.set("message", d.message);
+  if (!d.element.empty()) out.set("element", d.element);
+  if (!d.node.empty()) out.set("node", d.node);
+  if (d.line > 0) {
+    if (!d.file.empty()) out.set("file", d.file);
+    out.set("line", static_cast<unsigned long long>(d.line));
+    out.set("column", static_cast<unsigned long long>(d.column));
+  }
+  if (d.condition_estimate >= 0.0) {
+    out.set("condition_estimate", d.condition_estimate);
+  }
+  return out;
+}
+
+Value report_to_json(const std::string& subject, const AuditReport& report) {
+  Value out = Value::object();
+  out.set("subject", subject);
+  out.set("errors", static_cast<unsigned long long>(report.errors));
+  out.set("warnings", static_cast<unsigned long long>(report.warnings));
+  out.set("infos", static_cast<unsigned long long>(report.infos));
+  out.set("ok", report.ok());
+
+  Value diags = Value::array();
+  for (const core::Diagnostic& d : report.diagnostics) {
+    diags.push_back(diagnostic_to_json(d));
+  }
+  out.set("diagnostics", std::move(diags));
+
+  Value nets = Value::array();
+  for (const NetAssessment& a : report.nets) {
+    Value net = Value::object();
+    net.set("net", a.net);
+    if (!a.driver.empty()) net.set("driver", a.driver);
+    net.set("eligibility", reduce::to_string(a.eligibility));
+    net.set("rc_tree", a.estimate.rc_tree);
+    net.set("tau_count",
+            static_cast<unsigned long long>(a.estimate.tau_count));
+    net.set("spread", a.estimate.spread);
+    net.set("elmore_delay", a.estimate.elmore_delay);
+    net.set("moment_ratio", a.estimate.moment_ratio);
+    net.set("nonequilibrium_ic", a.estimate.nonequilibrium_ic);
+    net.set("min_safe_order", a.estimate.min_safe_order);
+    net.set("max_safe_order", a.estimate.max_safe_order);
+    net.set("hazard", a.estimate.hazard);
+    nets.push_back(std::move(net));
+  }
+  out.set("nets", std::move(nets));
+
+  Value repeated = Value::array();
+  for (const RepetitionGroup& group : report.repeated) {
+    Value g = Value::object();
+    g.set("representative", group.representative);
+    Value members = Value::array();
+    for (const std::string& m : group.members) members.push_back(m);
+    g.set("members", std::move(members));
+    repeated.push_back(std::move(g));
+  }
+  out.set("repeated", std::move(repeated));
+
+  Value misses = Value::array();
+  for (const NearMiss& miss : report.near_misses) {
+    Value m = Value::object();
+    m.set("net_a", miss.net_a);
+    m.set("net_b", miss.net_b);
+    m.set("element_index",
+          static_cast<unsigned long long>(miss.element_index));
+    m.set("value_a", miss.value_a);
+    m.set("value_b", miss.value_b);
+    misses.push_back(std::move(m));
+  }
+  out.set("near_misses", std::move(misses));
+  return out;
+}
+
+}  // namespace awesim::audit

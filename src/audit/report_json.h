@@ -1,0 +1,25 @@
+// JSON rendering of an AuditReport, shared by the awesim_audit CLI and
+// the serve-layer `audit` verb so both speak the same schema.  Written
+// with the obs::json writer; the matching reader round-trips it (the
+// test suite parses the CLI output back and checks the fields).
+#pragma once
+
+#include <string>
+
+#include "audit/audit.h"
+#include "obs/json.h"
+
+namespace awesim::audit {
+
+/// Bump on any field change; consumers key on it.
+inline constexpr int kAuditSchemaVersion = 1;
+
+obs::json::Value diagnostic_to_json(const core::Diagnostic& diagnostic);
+
+/// One file/design worth of findings: counts, diagnostics, per-net
+/// assessments, repetition groups, near-misses.  `subject` names what
+/// was audited (a file path, or the serve snapshot tag).
+obs::json::Value report_to_json(const std::string& subject,
+                                const AuditReport& report);
+
+}  // namespace awesim::audit

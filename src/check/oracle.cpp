@@ -1,0 +1,271 @@
+#include "check/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace awesim::check {
+
+namespace {
+
+bool is_ground(const std::string& name) {
+  return name == "0" || name == "gnd" || name == "GND";
+}
+
+int clamp_order(int q) { return std::max(1, std::min(6, q)); }
+
+std::string describe(const ConditioningEstimate& est, int target_order) {
+  std::ostringstream out;
+  if (!est.rc_tree) {
+    out << "non-tree/RLC content; coarse lumped estimate only";
+  } else {
+    out << "tau spread " << est.spread << " over " << est.tau_count
+        << " time constants";
+  }
+  out << "; safe order window [" << est.min_safe_order << ", "
+      << est.max_safe_order << "]";
+  if (est.hazard) {
+    out << "; requested order " << target_order << " is outside it";
+    if (target_order > est.max_safe_order) {
+      out << " (Hankel condition ~"
+          << hankel_condition(est.spread, target_order)
+          << "; lower the order or downgrade the delay model)";
+    } else {
+      out << " (nonequilibrium initial conditions make the q=1 Elmore "
+             "member unreliable; request order >= "
+          << est.min_safe_order << ")";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+double hankel_condition(double spread, int order) {
+  if (spread <= 1.0 || order <= 1) return 1.0;
+  const double digits = 2.0 * (order - 1) * std::log10(spread);
+  if (digits > 300.0) return 1e300;
+  return std::pow(10.0, digits);
+}
+
+ConditioningEstimate assess(const OracleInput& input,
+                            const OracleOptions& options) {
+  ConditioningEstimate est;
+  est.nonequilibrium_ic = input.nonequilibrium_ic;
+
+  // Node table: ground pinned at 0, others in first-appearance order.
+  // Hashed with string_view keys into the caller's element strings (the
+  // input outlives this call), and interned in ONE pass that caches the
+  // dense ids per element -- on kilo-node nets the repeated ordered-map
+  // probes were the whole cost of the audit's conditioning tier.
+  std::unordered_map<std::string_view, int> ids;
+  ids.reserve(input.elements.size() + 1);
+  const auto intern = [&](const std::string& name) {
+    if (is_ground(name)) return 0;
+    const auto [it, inserted] =
+        ids.try_emplace(std::string_view(name),
+                        static_cast<int>(ids.size()) + 1);
+    return it->second;
+  };
+
+  bool has_inductor = false;
+  double sum_r = 0.0, sum_c = 0.0;
+  std::vector<std::pair<int, int>> ends;
+  ends.reserve(input.elements.size());
+  for (const OracleElement& e : input.elements) {
+    ends.emplace_back(intern(e.node_a), intern(e.node_b));
+    switch (e.kind) {
+      case OracleElement::Kind::Resistor: sum_r += e.value; break;
+      case OracleElement::Kind::Capacitor: sum_c += e.value; break;
+      case OracleElement::Kind::Inductor: has_inductor = true; break;
+    }
+  }
+  const int source_id =
+      input.source.empty() || is_ground(input.source) ? -1
+                                                      : intern(input.source);
+  const std::size_t n = ids.size() + 1;
+
+  // Per-node grounded capacitance (coupling caps count on both plates:
+  // the Elmore walk treats them as grounded, a deliberate overestimate).
+  std::vector<double> cap(n, 0.0);
+  // Resistive adjacency; edges touching ground are never traversed
+  // (ground is a potential sink, not a tree branch).
+  std::vector<std::vector<std::pair<int, double>>> adj(n);
+  for (std::size_t i = 0; i < input.elements.size(); ++i) {
+    const OracleElement& e = input.elements[i];
+    const auto [a, b] = ends[i];
+    if (e.kind == OracleElement::Kind::Capacitor) {
+      if (a != 0) cap[static_cast<std::size_t>(a)] += e.value;
+      if (b != 0) cap[static_cast<std::size_t>(b)] += e.value;
+    } else if (e.kind == OracleElement::Kind::Resistor) {
+      if (a != 0 && b != 0 && e.value > 0.0 && std::isfinite(e.value)) {
+        adj[static_cast<std::size_t>(a)].push_back({b, e.value});
+        adj[static_cast<std::size_t>(b)].push_back({a, e.value});
+      }
+    }
+  }
+
+  const int source = source_id;
+
+  bool tree = source > 0 && !has_inductor;
+  std::vector<int> parent(n, -1);
+  std::vector<double> edge_r(n, 0.0), r_path(n, 0.0);
+  std::vector<int> order;  // BFS order, source first
+  if (tree) {
+    std::vector<char> seen(n, 0);
+    seen[static_cast<std::size_t>(source)] = 1;
+    order.push_back(source);
+    for (std::size_t head = 0; head < order.size() && tree; ++head) {
+      const int u = order[head];
+      for (const auto& [v, r] : adj[static_cast<std::size_t>(u)]) {
+        if (v == parent[static_cast<std::size_t>(u)]) continue;
+        if (seen[static_cast<std::size_t>(v)]) {
+          tree = false;  // resistive loop: a mesh, taus are not exact
+          break;
+        }
+        seen[static_cast<std::size_t>(v)] = 1;
+        parent[static_cast<std::size_t>(v)] = u;
+        edge_r[static_cast<std::size_t>(v)] = r;
+        r_path[static_cast<std::size_t>(v)] =
+            r_path[static_cast<std::size_t>(u)] + r;
+        order.push_back(v);
+      }
+    }
+  }
+
+  if (tree) {
+    est.rc_tree = true;
+    // Exact Elmore time constants: tau_i = R(source->i) * C_i.
+    for (const int u : order) {
+      const double tau = r_path[static_cast<std::size_t>(u)] *
+                         cap[static_cast<std::size_t>(u)];
+      if (tau > 0.0) {
+        ++est.tau_count;
+        est.tau_min = est.tau_min == 0.0 ? tau : std::min(est.tau_min, tau);
+        est.tau_max = std::max(est.tau_max, tau);
+      }
+    }
+    if (est.tau_count >= 2 && est.tau_min > 0.0) {
+      est.spread = est.tau_max / est.tau_min;
+    }
+
+    // First three tree moments, O(n) each: cap currents I_j = C_j *
+    // m_{k-1}(j) accumulate into subtree sums S_i (children before
+    // parents in reverse BFS order), and m_k(i) = m_k(parent) -
+    // R_edge(i) * S_i with m_k(source) = 0 (ideal source).
+    std::vector<double> m_prev(n, 1.0), m_cur(n, 0.0), subtree(n, 0.0);
+    std::vector<double> m1(n, 0.0), m2(n, 0.0), m3(n, 0.0);
+    for (int k = 1; k <= 3; ++k) {
+      std::fill(subtree.begin(), subtree.end(), 0.0);
+      for (std::size_t i = order.size(); i-- > 0;) {
+        const int u = order[i];
+        subtree[static_cast<std::size_t>(u)] +=
+            cap[static_cast<std::size_t>(u)] *
+            m_prev[static_cast<std::size_t>(u)];
+        const int p = parent[static_cast<std::size_t>(u)];
+        if (p >= 0) {
+          subtree[static_cast<std::size_t>(p)] +=
+              subtree[static_cast<std::size_t>(u)];
+        }
+      }
+      for (const int u : order) {
+        const int p = parent[static_cast<std::size_t>(u)];
+        m_cur[static_cast<std::size_t>(u)] =
+            (p >= 0 ? m_cur[static_cast<std::size_t>(p)] : 0.0) -
+            edge_r[static_cast<std::size_t>(u)] *
+                subtree[static_cast<std::size_t>(u)];
+      }
+      for (const int u : order) {
+        const auto ui = static_cast<std::size_t>(u);
+        (k == 1 ? m1[ui] : k == 2 ? m2[ui] : m3[ui]) = m_cur[ui];
+      }
+      m_prev = m_cur;
+    }
+    std::size_t worst = static_cast<std::size_t>(source);
+    for (const int u : order) {
+      if (std::abs(m1[static_cast<std::size_t>(u)]) > std::abs(m1[worst])) {
+        worst = static_cast<std::size_t>(u);
+      }
+    }
+    est.elmore_delay = std::abs(m1[worst]);
+    if (m2[worst] != 0.0) {
+      est.moment_ratio = std::abs(m1[worst] * m3[worst]) /
+                         (m2[worst] * m2[worst]);
+    }
+  } else {
+    // Coarse lumped estimate: one time constant, no spread signal.
+    est.rc_tree = false;
+    est.elmore_delay = sum_r * sum_c;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (cap[i] > 0.0) ++est.tau_count;
+    }
+  }
+
+  est.max_safe_order =
+      est.spread <= 1.0
+          ? 6
+          : clamp_order(1 + static_cast<int>(std::floor(
+                                options.digits /
+                                (2.0 * std::log10(est.spread)))));
+  est.min_safe_order =
+      est.nonequilibrium_ic && est.tau_count >= 2 ? 2 : 1;
+  est.hazard = options.target_order > est.max_safe_order ||
+               options.target_order < est.min_safe_order;
+  est.detail = describe(est, options.target_order);
+  return est;
+}
+
+ConditioningEstimate assess_circuit(const circuit::Circuit& circuit,
+                                    const OracleOptions& options) {
+  OracleInput input;
+  for (const circuit::Element& e : circuit.elements()) {
+    OracleElement oe;
+    switch (e.kind) {
+      case circuit::ElementKind::Resistor:
+        oe.kind = OracleElement::Kind::Resistor;
+        break;
+      case circuit::ElementKind::Capacitor:
+        oe.kind = OracleElement::Kind::Capacitor;
+        break;
+      case circuit::ElementKind::Inductor:
+        oe.kind = OracleElement::Kind::Inductor;
+        break;
+      case circuit::ElementKind::VoltageSource:
+      case circuit::ElementKind::CurrentSource:
+        if (input.source.empty()) {
+          const circuit::NodeId anchor =
+              e.pos != circuit::kGround ? e.pos : e.neg;
+          if (anchor != circuit::kGround) {
+            input.source = circuit.node_name(anchor);
+          }
+        }
+        continue;
+      default:
+        continue;  // controlled sources: conditioning is not tau-driven
+    }
+    oe.node_a = circuit.node_name(e.pos);
+    oe.node_b = circuit.node_name(e.neg);
+    oe.value = e.value;
+    if (e.initial_condition.has_value() && *e.initial_condition != 0.0) {
+      input.nonequilibrium_ic = true;
+    }
+    input.elements.push_back(std::move(oe));
+  }
+  for (const auto& [node, volts] : circuit.initial_node_voltages()) {
+    (void)node;
+    if (volts != 0.0) input.nonequilibrium_ic = true;
+  }
+  if (input.source.empty()) {
+    ConditioningEstimate est;
+    est.detail = "no independent source; nothing to assess";
+    return est;
+  }
+  return assess(input, options);
+}
+
+}  // namespace awesim::check

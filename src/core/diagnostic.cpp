@@ -32,6 +32,14 @@ const char* to_string(DiagCode code) {
     case DiagCode::ReductionFallback: return "reduction-fallback";
     case DiagCode::ReductionToleranceExceeded:
       return "reduction-tolerance-exceeded";
+    case DiagCode::CombinationalCycle: return "combinational-cycle";
+    case DiagCode::UndrivenEndpoint: return "undriven-endpoint";
+    case DiagCode::DeadLogic: return "dead-logic";
+    case DiagCode::FanoutExplosion: return "fanout-explosion";
+    case DiagCode::ReconvergentFanout: return "reconvergent-fanout";
+    case DiagCode::ConditioningHazard: return "conditioning-hazard";
+    case DiagCode::RepeatedStructure: return "repeated-structure";
+    case DiagCode::NearDuplicate: return "near-duplicate";
     case DiagCode::DeadlineExceeded: return "deadline-exceeded";
     case DiagCode::BudgetExceeded: return "budget-exceeded";
     case DiagCode::InvalidRequest: return "invalid-request";

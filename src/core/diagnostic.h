@@ -56,6 +56,15 @@ enum class DiagCode {
   // Hierarchical reduction (src/reduce).
   ReductionFallback,          // a net could not be reduced; analyzed flat
   ReductionToleranceExceeded, // macromodel failed moment verification; flat
+  // Design-scope static audit (src/audit, graph/conditioning/repetition).
+  CombinationalCycle, // gate loop; levelization impossible (full loop path)
+  UndrivenEndpoint,   // gate input pin reachable from no primary input
+  DeadLogic,          // gate driving no sink, no PO role: result unused
+  FanoutExplosion,    // net fanout beyond the configured threshold
+  ReconvergentFanout, // deep reconvergence; path-count blowup warning
+  ConditioningHazard, // static oracle predicts AWE instability at high order
+  RepeatedStructure,  // Info: nets sharing one reduction-store entry
+  NearDuplicate,      // nets identical up to one value; missed sharing
   // Request lifecycle (timing-as-a-service; see src/serve and
   // core/cancel.h).  These describe the *request*, never the design:
   // a deadline-exceeded analysis left no partial results behind.

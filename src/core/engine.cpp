@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "check/lint.h"
+#include "check/oracle.h"
 #include "core/error.h"
 #include "core/fault.h"
 #include "obs/trace.h"
@@ -239,6 +240,25 @@ std::vector<Engine::AtomProblem>& Engine::atom_problems() {
 // Errors abort before any matrix work with the structured lint record;
 // warnings only feed the Stats tallies.
 void Engine::preflight(const EngineOptions& options) {
+  // Advisory conditioning oracle (opt-in, memoized like the lint): one
+  // assessment per engine, never blocks, only annotates Results.
+  if (options.preflight_audit && !audit_done_) {
+    audit_done_ = true;
+    check::OracleOptions oracle_options;
+    oracle_options.target_order = options.order;
+    const check::ConditioningEstimate estimate =
+        check::assess_circuit(mna_.circuit(), oracle_options);
+    if (estimate.hazard) {
+      ++stats_.conditioning_hazards;
+      Diagnostic diag;
+      diag.code = DiagCode::ConditioningHazard;
+      diag.severity = Severity::Warning;
+      diag.message = estimate.detail;
+      diag.condition_estimate =
+          check::hankel_condition(estimate.spread, options.order);
+      audit_diag_ = std::move(diag);
+    }
+  }
   if (!options.preflight_lint || lint_done_) return;
   lint_done_ = true;
   check::LintOptions lint_options;
@@ -264,6 +284,7 @@ Result Engine::approximate(circuit::NodeId output,
   preflight(options);
   const std::size_t out = mna_.node_index(output);
   Result result = approximate_at(out, options);
+  if (audit_diag_) result.diagnostics.push_back(*audit_diag_);
   sync_mna_stats();
   return result;
 }
@@ -306,6 +327,7 @@ BatchResult Engine::approximate_all(
   batch.results.reserve(indices.size());
   for (const std::size_t out : indices) {
     batch.results.push_back(approximate_at(out, options));
+    if (audit_diag_) batch.results.back().diagnostics.push_back(*audit_diag_);
   }
   sync_mna_stats();
   batch.stats = stats_ - before;

@@ -84,6 +84,20 @@ struct EngineOptions {
   /// instability benches).
   bool preflight_lint = true;
 
+  /// Opt-in advisory companion to preflight_lint: run the src/check
+  /// conditioning oracle (Elmore tau spread, moment-growth ratio,
+  /// nonequilibrium-IC rule) over the circuit before the first
+  /// approximation and, when the requested order falls outside the
+  /// predicted safe window, append a Warning-severity
+  /// ConditioningHazard record to every Result's diagnostics and bump
+  /// Stats::conditioning_hazards.  Never blocks and never changes the
+  /// numbers -- the degradation ladder still decides what to answer;
+  /// this only explains *in advance* why the ladder is about to fire
+  /// (the Fig. 20/21 raw-instability pattern).  Off by default because
+  /// the whole-design audit (src/audit) and the timing analyzer already
+  /// assess per-net conditioning; enable for direct Engine use.
+  bool preflight_audit = false;
+
   /// Walk the degradation ladder instead of returning an unstable model:
   /// when the eq. 24 window and the Section 3.3 shifted window both fail
   /// (and auto-order escalation, if enabled, is exhausted), step the
@@ -259,6 +273,8 @@ class Engine {
   std::vector<AtomProblem> atoms_;
   bool atoms_built_ = false;
   bool lint_done_ = false;
+  bool audit_done_ = false;
+  std::optional<Diagnostic> audit_diag_;
   std::optional<la::RealVector> x_eq_;
   Stats stats_;
 };

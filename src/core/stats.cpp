@@ -19,6 +19,7 @@ Stats& Stats::operator+=(const Stats& other) {
   low_rank_refactorizations += other.low_rank_refactorizations;
   lint_errors += other.lint_errors;
   lint_warnings += other.lint_warnings;
+  conditioning_hazards += other.conditioning_hazards;
   window_shifts += other.window_shifts;
   order_stepdowns += other.order_stepdowns;
   elmore_fallbacks += other.elmore_fallbacks;
@@ -46,6 +47,7 @@ Stats& Stats::operator-=(const Stats& other) {
   low_rank_refactorizations -= other.low_rank_refactorizations;
   lint_errors -= other.lint_errors;
   lint_warnings -= other.lint_warnings;
+  conditioning_hazards -= other.conditioning_hazards;
   window_shifts -= other.window_shifts;
   order_stepdowns -= other.order_stepdowns;
   elmore_fallbacks -= other.elmore_fallbacks;

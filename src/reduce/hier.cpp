@@ -60,6 +60,16 @@ bool HierSession::refresh_hints() {
     NetHint& hint = hints_[i];
     if (hint.valid) continue;
     const timing::Net& net = d.net_at(i);
+    // Structural precheck: a net the gates refuse can never produce a
+    // macromodel, so skip the store round-trip and the collapse attempt
+    // entirely.  The hint pins to "flat" (nullptr artifact).
+    if (net_eligibility(net, reduce_options_) != Eligibility::Eligible) {
+      ++stats_.eligibility_skips;
+      if (hint.cached != nullptr) changed = true;
+      hint.cached.reset();
+      hint.valid = true;
+      continue;
+    }
     const std::string key =
         timing::detail::reduction_key(reduction_content_key(net,
                                                             reduce_options_));

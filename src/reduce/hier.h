@@ -83,6 +83,11 @@ class HierSession {
     std::size_t macro_states = 0;
     /// reduce_net executions performed by this session (lifetime).
     std::uint64_t reductions_performed = 0;
+    /// Hint refreshes short-circuited by the structural eligibility
+    /// precheck (net_eligibility != Eligible): no store lookup, no
+    /// collapse attempt, no negative entry polluting the shared cache
+    /// (lifetime).
+    std::uint64_t eligibility_skips = 0;
     /// Hint refreshes served from the shared reduction store (lifetime).
     std::uint64_t reduction_cache_hits = 0;
     /// Inner-session rebuilds (lifetime; 1 after the first analyze).

@@ -7,6 +7,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -49,7 +50,12 @@ double max_abs(const la::Matrix<double>& m) {
 /// nodes (driver hookup + sink hookups, name-sorted) at 1..m, interior
 /// nodes at m+1.. in first-appearance order.
 struct NodeTable {
-  std::map<std::string, int> ids;
+  // Hashed, not ordered: ids are assigned by insertion order (++next),
+  // so nothing downstream depends on map iteration order -- only
+  // .size() and point lookups are ever used.  On kilo-node nets the
+  // ordered map's string comparisons dominated the whole eligibility
+  // precheck.
+  std::unordered_map<std::string, int> ids;
   std::size_t boundary = 0;  // m
   std::size_t interior = 0;  // n_i
   int next = 0;
@@ -89,6 +95,65 @@ core::Diagnostic make_diag(core::DiagCode code, const timing::Net& net,
 
 }  // namespace
 
+const char* to_string(Eligibility eligibility) {
+  switch (eligibility) {
+    case Eligibility::Eligible: return "eligible";
+    case Eligibility::HasMacros: return "has-macros";
+    case Eligibility::TooManyPorts: return "too-many-ports";
+    case Eligibility::SinkAtGround: return "sink-at-ground";
+    case Eligibility::InteriorTooSmall: return "interior-too-small";
+    case Eligibility::NonRc: return "non-rc";
+  }
+  return "unknown";
+}
+
+Eligibility net_eligibility(const timing::Net& net,
+                            const ReduceOptions& options) {
+  if (!net.macros.empty()) return Eligibility::HasMacros;
+  const std::set<std::string> boundary = boundary_names(net);
+  if (boundary.size() > options.max_ports) return Eligibility::TooManyPorts;
+  for (const auto& [gate, node] : net.sink_node) {
+    (void)gate;
+    if (is_ground(node)) return Eligibility::SinkAtGround;
+  }
+  NodeTable table;
+  table.ids.reserve(boundary.size() + net.parasitics.size());
+  for (const std::string& name : boundary) table.intern(name);
+  table.boundary = table.ids.size();
+  // One pass: intern endpoints and build the classification edges
+  // together (the interior-count gate just reads the edges back).
+  std::vector<check::Edge> edges;
+  edges.reserve(net.parasitics.size());
+  for (const timing::NetElement& e : net.parasitics) {
+    check::Edge edge;
+    edge.a = table.intern(e.node_a);
+    edge.b = table.intern(e.node_b);
+    switch (e.kind) {
+      case timing::NetElement::Kind::Resistor:
+        edge.kind = check::Edge::Kind::Resistive;
+        break;
+      case timing::NetElement::Kind::Capacitor:
+        edge.kind = check::Edge::Kind::Capacitive;
+        break;
+      case timing::NetElement::Kind::Inductor:
+        edge.kind = check::Edge::Kind::Inductive;
+        break;
+    }
+    edges.push_back(edge);
+  }
+  const std::size_t ni = table.ids.size() - table.boundary;
+  if (ni < std::max<std::size_t>(options.min_interior, 1)) {
+    return Eligibility::InteriorTooSmall;
+  }
+  const check::TopologyClass cls =
+      check::classify_edges(table.ids.size() + 1, edges);
+  if (cls != check::TopologyClass::RcTree &&
+      cls != check::TopologyClass::RcMesh) {
+    return Eligibility::NonRc;
+  }
+  return Eligibility::Eligible;
+}
+
 std::string reduction_content_key(const timing::Net& net,
                                   const ReduceOptions& options) {
   timing::detail::KeyBuilder kb;
@@ -116,15 +181,13 @@ NetReduction reduce_net(const timing::Net& net, const ReduceOptions& options) {
   NetReduction out;
   out.net = net;
 
-  // --- Cheap structural gates (silent refusals: flat is simply right).
-  if (!net.macros.empty()) return out;  // already reduced
-  const std::set<std::string> boundary = boundary_names(net);
-  if (boundary.size() > options.max_ports) return out;
-  for (const auto& [gate, node] : net.sink_node) {
-    if (is_ground(node)) return out;  // degenerate hookup; lint's problem
-  }
+  // --- Cheap structural gates (silent refusals: flat is simply right),
+  // shared with HierSession's precheck and the design audit.
+  if (net_eligibility(net, options) != Eligibility::Eligible) return out;
 
+  const std::set<std::string> boundary = boundary_names(net);
   NodeTable table;
+  table.ids.reserve(boundary.size() + net.parasitics.size());
   for (const std::string& name : boundary) table.intern(name);
   table.boundary = table.ids.size();
   for (const timing::NetElement& e : net.parasitics) {
@@ -134,37 +197,6 @@ NetReduction reduce_net(const timing::Net& net, const ReduceOptions& options) {
   const std::size_t m = table.boundary;
   const std::size_t ni = table.ids.size() - m;
   table.interior = ni;
-  if (ni < std::max<std::size_t>(options.min_interior, 1)) return out;
-
-  // --- Topology gate: only RC content reduces (the congruence
-  // projection's moment theorem is stated for symmetric RC).
-  {
-    std::vector<check::Edge> edges;
-    edges.reserve(net.parasitics.size());
-    for (const timing::NetElement& e : net.parasitics) {
-      check::Edge edge;
-      edge.a = table.intern(e.node_a);
-      edge.b = table.intern(e.node_b);
-      switch (e.kind) {
-        case timing::NetElement::Kind::Resistor:
-          edge.kind = check::Edge::Kind::Resistive;
-          break;
-        case timing::NetElement::Kind::Capacitor:
-          edge.kind = check::Edge::Kind::Capacitive;
-          break;
-        case timing::NetElement::Kind::Inductor:
-          edge.kind = check::Edge::Kind::Inductive;
-          break;
-      }
-      edges.push_back(edge);
-    }
-    const check::TopologyClass cls =
-        check::classify_edges(table.ids.size() + 1, edges);
-    if (cls != check::TopologyClass::RcTree &&
-        cls != check::TopologyClass::RcMesh) {
-      return out;
-    }
-  }
 
   // --- The fault-injection drill: a typed, visible refusal.
   if (core::fault_at("reduce.collapse", net.name)) {

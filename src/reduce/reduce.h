@@ -104,6 +104,30 @@ struct NetReduction {
   core::Diagnostics diagnostics;
 };
 
+/// Why a net will (or will not) reduce, decided from structure alone --
+/// no factorization, no Krylov space.  Exactly the "cheap structural
+/// gates" at the top of reduce_net, exposed so reduce::HierSession can
+/// skip hopeless collapse attempts and the design audit can report
+/// per-net reduction eligibility without doing the work.
+enum class Eligibility {
+  Eligible,          // passes every structural gate; collapse will be tried
+  HasMacros,         // already carries a macromodel: reduced once already
+  TooManyPorts,      // boundary (driver + sinks) exceeds max_ports
+  SinkAtGround,      // a sink hookup names the ground node (lint's problem)
+  InteriorTooSmall,  // fewer interior nodes than min_interior: no payoff
+  NonRc,             // inductors or General topology: the moment theorem
+                     // behind the congruence projection does not apply
+};
+
+const char* to_string(Eligibility eligibility);
+
+/// Evaluate only the structural gates, in reduce_net's gate order.
+/// Eligible means the collapse will be *attempted* -- the numeric gates
+/// (interior solvability, singular G_ii, verification tolerance) can
+/// still refuse it.
+Eligibility net_eligibility(const timing::Net& net,
+                            const ReduceOptions& options = {});
+
 /// The exact bytes a net's reduction depends on: parasitics (kind,
 /// nodes, value), the sorted boundary node-name set, and every
 /// ReduceOptions field.  Deliberately name-agnostic (net name, sink

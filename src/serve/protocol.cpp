@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "audit/audit.h"
+#include "audit/report_json.h"
 #include "core/cancel.h"
 #include "core/fault.h"
 
@@ -663,6 +665,28 @@ json::Value dispatch(timing::SnapshotStore& store, const Request& req,
     const std::string& netlist = require_string(req.params, "netlist");
     set_generation(store.current()->generation());
     return lint_to_json(check::lint_text(netlist, "<request>"));
+  }
+  if (req.method == "audit") {
+    // Design-scope static audit of the *current snapshot* (graph rules,
+    // conditioning oracle, repetition analysis) -- no mutation, safe to
+    // run concurrently with what-if clients.
+    audit::AuditOptions audit_options;
+    audit_options.graph.fanout_threshold = static_cast<std::size_t>(
+        index_or(req.params, "fanout_limit",
+                 audit_options.graph.fanout_threshold));
+    audit_options.oracle.target_order = static_cast<int>(index_or(
+        req.params, "order",
+        static_cast<std::size_t>(audit_options.oracle.target_order)));
+    audit_options.repetition = bool_or(req.params, "repetition", true);
+    const std::shared_ptr<const timing::Snapshot> snap = store.current();
+    set_generation(snap->generation());
+    json::Value r = json::Value::object();
+    r.set("audit_schema_version", audit::kAuditSchemaVersion);
+    r.set("report",
+          audit::report_to_json(
+              "generation-" + std::to_string(snap->generation()),
+              audit::audit_design(snap->design(), audit_options)));
+    return r;
   }
   if (req.method == "worst_paths") {
     timing::PathQuery query;

@@ -23,7 +23,7 @@
 //                          "message": string, "diagnostics": [...]},
 //                "retry_after_ms": number?}   // ServerOverloaded only
 //
-// Methods: ping, analyze, set_value, set_gate, sweep, lint,
+// Methods: ping, analyze, set_value, set_gate, sweep, lint, audit,
 // worst_paths, stats, load_design, shutdown.  DESIGN.md section 13
 // documents each method's parameters and result shape.
 //

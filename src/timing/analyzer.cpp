@@ -15,6 +15,7 @@
 #include "core/parallel.h"
 #include "obs/trace.h"
 #include "timing/delay_model.h"
+#include "timing/design_graph.h"
 #include "timing/graph.h"
 #include "timing/stage_cache.h"
 
@@ -159,7 +160,34 @@ TimingReport analyze_design(const Design& design,
   }
   if (leveled < gates.size()) {
     // Some gate never became ready: combinational cycle (or a sink whose
-    // fan-in never resolves).
+    // fan-in never resolves).  The pre-flight audit names the loop.
+    if (options.preflight_audit) {
+      const GraphFindings findings = audit_graph(design);
+      core::Diagnostic diag;
+      diag.code = core::DiagCode::CombinationalCycle;
+      diag.severity = core::Severity::Fatal;
+      if (!findings.cycles.empty()) {
+        const CyclePath& cycle = findings.cycles.front();
+        std::string path;
+        for (const std::string& gate : cycle.gates) {
+          if (!path.empty()) path += " -> ";
+          path += gate;
+        }
+        path += " -> " + cycle.gates.front();
+        diag.element = cycle.gates.front();
+        diag.message = "combinational cycle: " + path +
+                       (findings.cycles.size() > 1
+                            ? " (+" +
+                                  std::to_string(findings.cycles.size() - 1) +
+                                  " more loop(s))"
+                            : "");
+      } else {
+        diag.message =
+            "unreachable gates detected (fan-in never resolves): " +
+            std::to_string(gates.size() - leveled) + " gate(s) unleveled";
+      }
+      throw core::DiagnosticError(std::move(diag));
+    }
     throw std::invalid_argument(
         "Design: combinational cycle or unreachable gates detected");
   }

@@ -143,6 +143,19 @@ struct AnalysisOptions {
   /// cost, or deliberately pathological what-if experiments).
   bool preflight_lint = true;
 
+  /// Run the graph-scope pre-flight audit when levelization fails: the
+  /// thrown error is a typed core::DiagnosticError carrying a
+  /// CombinationalCycle record with the full ordered loop path (gate ->
+  /// gate -> ... -> gate), instead of a bare std::invalid_argument
+  /// naming nothing.  Costs nothing on healthy designs -- the audit
+  /// graph walk only runs after levelization has already failed.  The
+  /// escape hatch mirrors preflight_lint: set false to restore the
+  /// legacy untyped throw (callers written against the pre-audit
+  /// exception contract).  The full audit pass -- conditioning oracle,
+  /// fanout/reconvergence rules, repetition analysis -- lives in
+  /// audit::audit_design and the awesim_audit CLI.
+  bool preflight_audit = true;
+
   /// Which delay kernel evaluates each stage.  The default is the full
   /// AWE engine -- bit-identical to the pre-seam analyzer.  The kind is
   /// part of the stage-result cache key, so a Session can interleave

@@ -1,0 +1,259 @@
+#include "timing/design_graph.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace awesim::timing {
+
+namespace {
+
+/// Index view of the gate graph: gates numbered in name order (the
+/// Design's gate map is sorted), edges driver -> sink per net sink
+/// that names a known gate.
+struct GateGraph {
+  std::vector<std::string> names;           // index -> gate name
+  std::map<std::string, std::size_t> ids;   // gate name -> index
+  std::vector<std::vector<std::size_t>> out;  // deduplicated, sorted
+  std::vector<std::vector<std::size_t>> out_multi;  // with multiplicity
+  std::vector<std::size_t> in_degree;       // over deduplicated edges
+};
+
+GateGraph build_graph(const Design& design) {
+  GateGraph g;
+  g.names.reserve(design.gates().size());
+  for (const auto& [name, gate] : design.gates()) {
+    (void)gate;
+    g.ids.emplace(name, g.names.size());
+    g.names.push_back(name);
+  }
+  const std::size_t n = g.names.size();
+  g.out.assign(n, {});
+  g.out_multi.assign(n, {});
+  g.in_degree.assign(n, 0);
+  for (std::size_t i = 0; i < design.net_count(); ++i) {
+    const auto du = g.ids.find(design.net_driver(i));
+    if (du == g.ids.end()) continue;
+    for (const auto& [sink, node] : design.net_at(i).sink_node) {
+      (void)node;
+      const auto su = g.ids.find(sink);
+      if (su == g.ids.end()) continue;  // design output, not a gate
+      g.out_multi[du->second].push_back(su->second);
+    }
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    auto edges = g.out_multi[u];
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    g.out[u] = std::move(edges);
+    for (const std::size_t v : g.out[u]) ++g.in_degree[v];
+  }
+  return g;
+}
+
+/// Iterative Tarjan strongly-connected components, visiting roots in
+/// index (= gate name) order so component discovery is deterministic.
+std::vector<std::vector<std::size_t>> strongly_connected(
+    const GateGraph& g) {
+  const std::size_t n = g.names.size();
+  constexpr std::size_t kUnset = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> index(n, kUnset), lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> components;
+  std::size_t next_index = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t edge = 0;
+  };
+  std::vector<Frame> call;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnset) continue;
+    call.push_back({root});
+    while (!call.empty()) {
+      Frame& f = call.back();
+      if (f.edge == 0) {
+        index[f.v] = lowlink[f.v] = next_index++;
+        stack.push_back(f.v);
+        on_stack[f.v] = 1;
+      }
+      bool descended = false;
+      while (f.edge < g.out[f.v].size()) {
+        const std::size_t w = g.out[f.v][f.edge++];
+        if (index[w] == kUnset) {
+          call.push_back({w});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      }
+      if (descended) continue;
+      if (lowlink[f.v] == index[f.v]) {
+        std::vector<std::size_t> comp;
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          comp.push_back(w);
+          if (w == f.v) break;
+        }
+        std::sort(comp.begin(), comp.end());
+        components.push_back(std::move(comp));
+      }
+      const std::size_t done = f.v;
+      call.pop_back();
+      if (!call.empty()) {
+        lowlink[call.back().v] =
+            std::min(lowlink[call.back().v], lowlink[done]);
+      }
+    }
+  }
+  return components;
+}
+
+/// Shortest loop through `start` restricted to `members`: BFS with
+/// sorted adjacency, then walk parents back from the predecessor of
+/// the closing edge.
+std::vector<std::size_t> loop_through(const GateGraph& g,
+                                      std::size_t start,
+                                      const std::set<std::size_t>& members) {
+  constexpr std::size_t kUnset = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> queue{start};
+  std::map<std::size_t, std::size_t> parent;  // node -> predecessor
+  std::size_t closer = kUnset;
+  for (std::size_t head = 0; head < queue.size() && closer == kUnset;
+       ++head) {
+    const std::size_t u = queue[head];
+    for (const std::size_t v : g.out[u]) {
+      if (v == start) {
+        closer = u;
+        break;
+      }
+      if (members.count(v) == 0 || parent.count(v) != 0) continue;
+      parent.emplace(v, u);
+      queue.push_back(v);
+    }
+  }
+  std::vector<std::size_t> path;
+  if (closer == kUnset) return path;  // cannot happen inside an SCC
+  for (std::size_t v = closer; v != start; v = parent.at(v)) {
+    path.push_back(v);
+  }
+  path.push_back(start);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+GraphFindings audit_graph(const Design& design,
+                          const DesignGraphOptions& options) {
+  GraphFindings out;
+  const GateGraph g = build_graph(design);
+  const std::size_t n = g.names.size();
+
+  // --- Cycles: one representative loop per nontrivial SCC.
+  std::vector<char> cyclic(n, 0);
+  for (const auto& comp : strongly_connected(g)) {
+    const bool self_loop =
+        comp.size() == 1 &&
+        std::binary_search(g.out[comp[0]].begin(), g.out[comp[0]].end(),
+                           comp[0]);
+    if (comp.size() < 2 && !self_loop) continue;
+    for (const std::size_t v : comp) cyclic[v] = 1;
+    const std::set<std::size_t> members(comp.begin(), comp.end());
+    CyclePath cycle;
+    for (const std::size_t v : loop_through(g, comp[0], members)) {
+      cycle.gates.push_back(g.names[v]);
+    }
+    out.cycles.push_back(std::move(cycle));
+  }
+  std::sort(out.cycles.begin(), out.cycles.end(),
+            [](const CyclePath& a, const CyclePath& b) {
+              return a.gates < b.gates;
+            });
+
+  // --- Sources and the undriven rule.
+  const std::set<std::string> declared(design.primary_inputs().begin(),
+                                       design.primary_inputs().end());
+  std::vector<char> source(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const bool zero_fan_in = g.in_degree[v] == 0;
+    const bool is_pi = declared.count(g.names[v]) != 0;
+    if (zero_fan_in || is_pi) source[v] = 1;
+    if (zero_fan_in && !is_pi) out.undriven.push_back(g.names[v]);
+  }
+
+  // --- Forward reachability from every source.
+  std::vector<char> reached(n, 0);
+  std::vector<std::size_t> queue;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (source[v]) {
+      reached[v] = 1;
+      queue.push_back(v);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (const std::size_t w : g.out[queue[head]]) {
+      if (!reached[w]) {
+        reached[w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!reached[v]) out.unreachable.push_back(g.names[v]);
+  }
+
+  // --- Per-net rules: sinkless nets and fanout explosions.
+  for (std::size_t i = 0; i < design.net_count(); ++i) {
+    const Net& net = design.net_at(i);
+    if (net.sink_node.empty()) out.sinkless_nets.push_back(net.name);
+    if (net.sink_node.size() > options.fanout_threshold) {
+      out.fanout_explosions.push_back(
+          {net.name, design.net_driver(i), net.sink_node.size()});
+    }
+  }
+
+  // --- Reconvergence: saturating path counts over the acyclic part
+  // (Kahn order; cycle members never level and are skipped).
+  if (options.reconvergence_paths > 0) {
+    constexpr std::size_t kCap = std::numeric_limits<std::size_t>::max() / 2;
+    std::vector<std::size_t> degree(n, 0), paths(n, 0), depth(n, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (const std::size_t v : g.out_multi[u]) ++degree[v];
+    }
+    std::vector<std::size_t> ready;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (degree[v] == 0) {
+        ready.push_back(v);
+        paths[v] = 1;
+      }
+    }
+    for (std::size_t head = 0; head < ready.size(); ++head) {
+      const std::size_t u = ready[head];
+      if (source[u] && paths[u] == 0) paths[u] = 1;
+      for (const std::size_t v : g.out_multi[u]) {
+        paths[v] = std::min(kCap, paths[v] + std::min(kCap, paths[u]));
+        depth[v] = std::max(depth[v], depth[u] + 1);
+        if (--degree[v] == 0) ready.push_back(v);
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (paths[v] >= options.reconvergence_paths) {
+        out.reconvergences.push_back({g.names[v], paths[v], depth[v]});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace awesim::timing

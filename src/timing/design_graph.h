@@ -1,0 +1,98 @@
+// Gate-graph connectivity primitives for the design-scope audit.
+//
+// The analyzer's levelization (analyzer.cpp) already *dies* on a
+// combinational cycle -- with a bare "cycle or unreachable gates"
+// string and no names.  These primitives compute, purely from the
+// Design's connectivity (no matrices, no values), everything the audit
+// tier reports about graph shape:
+//
+//   * combinational cycles, each as an explicit ordered loop path
+//     (gate -> gate -> ... -> first gate), deduplicated per strongly
+//     connected component;
+//   * undriven endpoints: gates with no incoming net that were never
+//     declared primary inputs (the analyzer silently pins their
+//     arrival to 0 -- usually a missing connection, not a decision);
+//   * dead logic: gates unreachable from any source (declared PI or
+//     zero-fan-in gate) -- only cycles can produce these -- plus nets
+//     that drive no sink at all (the computed value is dropped);
+//   * fanout explosions: nets whose sink count exceeds a threshold
+//     (each sink pin loads the stage; past a few dozen the stage delay
+//     model and the physical net are both in trouble);
+//   * reconvergent fanout: source-to-gate path counts from a
+//     saturating DAG DP -- a pin whose path count passes the threshold
+//     sits behind deep reconvergence (path-based STA there is
+//     exponential; worth knowing before asking for K-worst paths).
+//
+// Everything is deterministic: gates iterate in name order (the
+// Design's gate map is ordered), nets in insertion order, and every
+// result list is sorted by its natural key.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "timing/analyzer.h"
+
+namespace awesim::timing {
+
+struct DesignGraphOptions {
+  /// Nets with more sinks than this are reported as fanout explosions.
+  std::size_t fanout_threshold = 32;
+  /// Gates whose source-to-pin path count reaches this are reported as
+  /// reconvergence hot spots (counts saturate; 0 disables the rule).
+  std::size_t reconvergence_paths = 1024;
+};
+
+/// One combinational cycle: the ordered gate names around the loop,
+/// starting from the lexicographically smallest member; the edge from
+/// the last entry back to the first closes the loop.
+struct CyclePath {
+  std::vector<std::string> gates;
+};
+
+/// A net whose sink count passed the fanout threshold.
+struct FanoutRecord {
+  std::string net;
+  std::string driver;
+  std::size_t fanout = 0;
+};
+
+/// A gate input sitting behind heavy reconvergence.
+struct ReconvergenceRecord {
+  std::string gate;
+  /// Saturating count of distinct source-to-pin paths.
+  std::size_t paths = 0;
+  /// Levelized depth of the gate (longest edge count from a source).
+  std::size_t depth = 0;
+};
+
+struct GraphFindings {
+  /// Each strongly connected component with >= 2 gates (or a self
+  /// loop) yields exactly one representative loop path.
+  std::vector<CyclePath> cycles;
+  /// Name-sorted gates with no incoming net and no primary-input
+  /// declaration.
+  std::vector<std::string> undriven;
+  /// Name-sorted gates unreachable from every source.
+  std::vector<std::string> unreachable;
+  /// Nets (insertion order) whose sink map is empty: the driver's
+  /// output is computed and dropped.
+  std::vector<std::string> sinkless_nets;
+  std::vector<FanoutRecord> fanout_explosions;
+  std::vector<ReconvergenceRecord> reconvergences;
+
+  bool clean() const {
+    return cycles.empty() && undriven.empty() && unreachable.empty() &&
+           sinkless_nets.empty() && fanout_explosions.empty() &&
+           reconvergences.empty();
+  }
+};
+
+/// Run every graph rule over the design's gate-level connectivity.
+/// Never throws on content: a cyclic design yields CyclePath records,
+/// not an exception.
+GraphFindings audit_graph(const Design& design,
+                          const DesignGraphOptions& options = {});
+
+}  // namespace awesim::timing

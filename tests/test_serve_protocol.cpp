@@ -216,6 +216,26 @@ TEST(ServeDispatch, PingAnalyzeStatsRoundTrip) {
   }
 }
 
+TEST(ServeDispatch, AuditReturnsSchemaVersionedReport) {
+  timing::SnapshotStore store = make_store();
+  const serve::HandleResult r = serve::handle_line(
+      store,
+      R"({"id": 5, "method": "audit", "params": {"fanout_limit": 8}})");
+  EXPECT_TRUE(r.ok) << r.line;
+  const json::Value doc = require_response_shape(r.line);
+  const json::Value* result = doc.find("result");
+  ASSERT_NE(result, nullptr);
+  const json::Value* version = result->find("audit_schema_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->as_number(), 1.0);
+  const json::Value* report = result->find("report");
+  ASSERT_NE(report, nullptr);
+  ASSERT_NE(report->find("errors"), nullptr);
+  EXPECT_EQ(report->find("errors")->as_number(), 0.0);  // chain4 is clean
+  EXPECT_NE(report->find("diagnostics"), nullptr);
+  EXPECT_NE(report->find("nets"), nullptr);
+}
+
 TEST(ServeDispatch, IdIsEchoedVerbatim) {
   timing::SnapshotStore store = make_store();
   const serve::HandleResult r = serve::handle_line(

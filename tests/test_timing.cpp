@@ -203,8 +203,21 @@ TEST(Timing, CycleDetected) {
   ba.sink_node.clear();
   ba.sink_node["a"] = "w";
   d.add_net("b", ba);
-  // Neither gate is a primary input with zero fan-in: cycle.
-  EXPECT_THROW(d.analyze(), std::invalid_argument);
+  // Neither gate is a primary input with zero fan-in: cycle.  The
+  // default pre-flight audit throws a typed record naming the loop.
+  try {
+    d.analyze();
+    FAIL() << "cycle not detected";
+  } catch (const core::DiagnosticError& e) {
+    EXPECT_EQ(e.diagnostic().code, core::DiagCode::CombinationalCycle);
+    EXPECT_NE(e.diagnostic().message.find("a -> b -> a"),
+              std::string::npos)
+        << e.diagnostic().message;
+  }
+  // The escape hatch restores the legacy untyped throw.
+  AnalysisOptions legacy;
+  legacy.preflight_audit = false;
+  EXPECT_THROW(d.analyze(legacy), std::invalid_argument);
 }
 
 namespace {

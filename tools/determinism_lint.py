@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Lint src/ for sources of nondeterminism.
+
+The repo's core contract is bit-stable output: the same netlist must
+produce the same report, the same JSON, and the same content keys on
+every run, every thread count, every platform.  Two things break that
+in practice, and this lint bans both:
+
+1. Wall-clock and entropy primitives -- ``rand()``/``srand``,
+   ``std::random_device``, ``system_clock``, ``std::time`` and friends.
+   Seeded ``mt19937`` generators are fine (deterministic by
+   construction); ``steady_clock`` is fine (it feeds wall-time metrics
+   and deadlines, never analysis results).  src/obs/ and src/serve/ are
+   exempt: timestamps and timeouts are their business.
+
+2. Iteration over unordered containers.  ``std::unordered_map``/``set``
+   are welcome as lookup structures (that is why the hot paths use
+   them), but ranging over one feeds hash-order into whatever is built
+   from the loop -- reports, keys, diagnostics -- and hash order is not
+   part of any contract.  The lint flags every range-for whose range
+   expression names a variable declared ``unordered_`` in the same
+   file.
+
+Suppression: append ``// determinism: ok -- <reason>`` to the flagged
+line.  The reason is mandatory culture, not syntax; a bare marker still
+suppresses, but review should reject it.
+
+Usage:
+  python3 tools/determinism_lint.py [--source-dir DIR]
+
+Exit status: 0 clean, 1 findings.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+ALLOW_MARKER = "determinism: ok"
+
+# Directories whose job is wall-clock time (tracing timestamps, RPC
+# deadlines, overload shedding).  Entropy is still banned there -- only
+# the clock patterns are forgiven.
+CLOCK_EXEMPT_DIRS = {"obs", "serve"}
+
+CLOCK_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"), "system_clock (wall clock)"),
+    (re.compile(r"\bstd::time\s*\("), "std::time"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "time(NULL)"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday"),
+    (re.compile(r"\blocaltime\b"), "localtime"),
+]
+
+ENTROPY_PATTERNS = [
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\brandom_device\b"), "random_device"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bdrand48\b|\blrand48\b"), "drand48/lrand48"),
+]
+
+# Variable or member declared as an unordered container:
+#   std::unordered_map<K, V> name;   std::unordered_set<T> name{...};
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*(\w+)\s*[;{=(]")
+
+# Range-for: capture the range expression after the colon.
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*:\s*([^)]+)\)")
+
+
+def lint_file(path: pathlib.Path, rel: pathlib.Path):
+    findings = []
+    layer = rel.parts[1] if len(rel.parts) > 1 else ""
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+
+    unordered_names = set()
+    for line in lines:
+        m = UNORDERED_DECL_RE.search(line)
+        if m:
+            unordered_names.add(m.group(1))
+
+    patterns = list(ENTROPY_PATTERNS)
+    if layer not in CLOCK_EXEMPT_DIRS:
+        patterns += CLOCK_PATTERNS
+
+    for lineno, line in enumerate(lines, start=1):
+        if ALLOW_MARKER in line:
+            continue
+        stripped = line.lstrip()
+        if stripped.startswith("//"):
+            continue
+        for pat, label in patterns:
+            if pat.search(line):
+                findings.append(f"{rel}:{lineno}: banned primitive "
+                                f"{label}; results must be reproducible")
+        m = RANGE_FOR_RE.search(line)
+        if m and unordered_names:
+            range_expr = m.group(1).strip()
+            # The identifier actually being ranged over: the last
+            # name in a possibly qualified a.b->c chain.
+            tail = re.split(r"[.\s]|->", range_expr)[-1]
+            tail = tail.split("(")[0].strip("&* ")
+            if tail in unordered_names:
+                findings.append(
+                    f"{rel}:{lineno}: iteration over unordered "
+                    f"container '{tail}' -- hash order must never feed "
+                    f"reports or keys; use an ordered container or "
+                    f"sort first")
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--source-dir", default=".", type=pathlib.Path)
+    args = ap.parse_args()
+
+    findings = []
+    src = args.source_dir / "src"
+    for path in sorted(src.rglob("*")):
+        if path.suffix in (".h", ".cpp"):
+            findings.extend(lint_file(path, path.relative_to(args.source_dir)))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"determinism_lint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("determinism_lint: src/ is free of entropy, wall-clock, and "
+          "hash-order leaks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

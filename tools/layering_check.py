@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Enforce the src/ dependency DAG by scanning #include edges.
+
+Every directory under src/ is a layer with an explicit rank; an
+``#include "dir/header.h"`` from layer A into layer B is legal only when
+rank(B) < rank(A) -- strictly below, so same-rank layers stay mutually
+independent and no cycle can ever form.  Two vocabulary headers
+(``core/diagnostic.h`` and ``core/fault.h``) are declared leaf headers:
+they define the diagnostic/fault value types the whole stack speaks, so
+any layer may include them even though the rest of core/ sits high in
+the DAG (the Engine orchestrates mna/check and must stay above them).
+
+A new src/ directory must be added to RANKS here before it can include
+or be included -- the check fails loudly on unknown layers, so the DAG
+is always a conscious decision rather than drift.
+
+Usage:
+  python3 tools/layering_check.py [--source-dir DIR] [--list]
+
+Exit status: 0 clean, 1 violations (or unknown layers) found.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Rank 0 is the foundation; higher ranks may include strictly lower ones.
+RANKS = {
+    # Foundation: pure value types and side-effect-free utilities.
+    "obs": 0,       # tracing/metrics vocabulary
+    "circuit": 0,   # netlist-independent circuit IR
+    "waveform": 0,  # waveform containers
+    # Leaf math / parsing over the IR.
+    "la": 1,        # dense linear algebra kernels
+    "netlist": 1,   # SPICE-dialect parser -> circuit IR
+    "circuits": 1,  # the paper's example circuits, built on the IR
+    # Structural analysis and assembly.
+    "mna": 2,       # modified nodal analysis assembly
+    "check": 2,     # topology lint + conditioning oracle (pre-matrix)
+    "rctree": 2,    # RC-tree specific moment machinery
+    "treelink": 2,  # tree-link decomposition
+    # The AWE engine and the flat simulator.
+    "sim": 3,       # reference transient simulator
+    "core": 3,      # Engine, diagnostics plumbing, stats, caching
+    # Whole-design layers.
+    "timing": 4,    # Design/Session STA over many nets
+    "reduce": 5,    # hierarchical reduction on top of timing
+    "audit": 6,     # whole-design static analysis (uses reduce keys)
+    "serve": 7,     # the daemon: everything below, plus sockets
+}
+
+# Vocabulary headers any layer may include regardless of rank: the typed
+# diagnostic/fault currency of the whole stack.  Keep this list short --
+# every entry is a hole in the DAG.
+LEAF_HEADERS = {
+    "core/diagnostic.h",
+    "core/fault.h",
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def scan(source_dir: pathlib.Path):
+    violations = []
+    src = source_dir / "src"
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cpp"):
+            continue
+        rel = path.relative_to(src)
+        layer = rel.parts[0]
+        if layer not in RANKS:
+            violations.append(
+                f"{path.relative_to(source_dir)}: directory 'src/{layer}' "
+                f"has no rank in tools/layering_check.py; add it to RANKS")
+            continue
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            target = m.group(1)
+            if "/" not in target:
+                continue  # same-directory or system-style include
+            tdir = target.split("/", 1)[0]
+            if tdir not in RANKS:
+                continue  # not a src/ layer (e.g. generated headers)
+            if tdir == layer or target in LEAF_HEADERS:
+                continue
+            if RANKS[tdir] >= RANKS[layer]:
+                violations.append(
+                    f"{path.relative_to(source_dir)}:{lineno}: "
+                    f"'{layer}' (rank {RANKS[layer]}) must not include "
+                    f"'{target}' ('{tdir}' is rank {RANKS[tdir]}; only "
+                    f"strictly lower ranks are allowed)")
+    return violations
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--source-dir", default=".", type=pathlib.Path)
+    ap.add_argument("--list", action="store_true",
+                    help="print the layer ranks and exit")
+    args = ap.parse_args()
+
+    if args.list:
+        for layer, rank in sorted(RANKS.items(), key=lambda kv: (kv[1], kv[0])):
+            print(f"{rank}  {layer}")
+        return 0
+
+    violations = scan(args.source_dir)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"layering_check: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("layering_check: src/ dependency DAG holds "
+          f"({len(RANKS)} layers, {len(LEAF_HEADERS)} leaf headers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
